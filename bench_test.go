@@ -1,0 +1,293 @@
+// Benchmarks regenerating every figure and table of the CortenMM
+// evaluation (§6). Each sub-benchmark runs one complete workload
+// configuration per iteration and reports the figure's headline metric
+// (ops/s, jobs/s, µs/op, or MiB). cmd/cortenbench prints the same data
+// as labelled rows.
+package cortenmm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cortenmm"
+	"cortenmm/internal/bench"
+	"cortenmm/internal/spec"
+	"cortenmm/internal/workload"
+)
+
+// benchThreads is the thread sweep used by the multicore benchmarks.
+var benchThreads = []int{1, 4}
+
+func microBench(b *testing.B, sys bench.System, op workload.MicroOp, cont workload.Contention, threads int) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		env, err := bench.NewEnv(sys, threads, 1<<17, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := workload.RunMicro(env.Machine, env.Sys, workload.MicroConfig{
+			Op: op, Contention: cont, Threads: threads, Iters: 300,
+		})
+		env.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.OpsPerSec()
+	}
+	b.ReportMetric(last, "mmops/s")
+}
+
+// BenchmarkFig1 is the teaser: mmap-PF and unmap scalability.
+func BenchmarkFig1(b *testing.B) {
+	for _, op := range []workload.MicroOp{workload.OpMmapPF, workload.OpUnmap} {
+		for _, threads := range benchThreads {
+			for _, sys := range []bench.System{bench.Linux, bench.RadixVM, bench.NrOS, bench.CortenAdv} {
+				b.Run(fmt.Sprintf("%s/t%d/%s", op, threads, sys), func(b *testing.B) {
+					microBench(b, sys, op, workload.Low, threads)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig13 is the single-threaded microbenchmark grid.
+func BenchmarkFig13(b *testing.B) {
+	for _, op := range workload.AllMicroOps {
+		for _, sys := range bench.AllSystems {
+			if sys == bench.NrOS && op != workload.OpMmapPF && op != workload.OpUnmap {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%s", op, sys), func(b *testing.B) {
+				microBench(b, sys, op, workload.Low, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 is the multithreaded grid with both contention levels.
+func BenchmarkFig14(b *testing.B) {
+	for _, cont := range []workload.Contention{workload.Low, workload.High} {
+		for _, op := range workload.AllMicroOps {
+			for _, sys := range []bench.System{bench.Linux, bench.CortenRW, bench.CortenAdv} {
+				b.Run(fmt.Sprintf("%s/%s/%s/t4", op, cont, sys), func(b *testing.B) {
+					microBench(b, sys, op, cont, 4)
+				})
+			}
+		}
+	}
+}
+
+func appBench(b *testing.B, sys bench.System, app, alloc string, threads int) {
+	b.Helper()
+	o := bench.Options{Threads: []int{threads}, Scale: 1}
+	var last bench.AppCell
+	for i := 0; i < b.N; i++ {
+		cell, err := bench.RunApp(sys, app, alloc, threads, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cell
+	}
+	b.ReportMetric(last.Throughput, "jobs/s")
+	b.ReportMetric(last.KernelFrac*100, "kernel%")
+}
+
+// BenchmarkFig15 is the single-threaded real-world comparison.
+func BenchmarkFig15(b *testing.B) {
+	for _, app := range []string{"dedup", "psearchy", "metis", "swaptions"} {
+		for _, sys := range []bench.System{bench.Linux, bench.CortenRW, bench.CortenAdv} {
+			b.Run(fmt.Sprintf("%s/%s", app, sys), func(b *testing.B) {
+				appBench(b, sys, app, "ptmalloc", 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig16 is JVM thread creation and metis with the ablations.
+func BenchmarkFig16(b *testing.B) {
+	systems := []bench.System{bench.Linux, bench.CortenRW, bench.AdvBase, bench.AdvVPA, bench.CortenAdv}
+	for _, app := range []string{"jvm", "metis"} {
+		for _, threads := range benchThreads {
+			for _, sys := range systems {
+				b.Run(fmt.Sprintf("%s/t%d/%s", app, threads, sys), func(b *testing.B) {
+					appBench(b, sys, app, "", threads)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig17 is dedup/psearchy under both allocators.
+func BenchmarkFig17(b *testing.B) {
+	for _, app := range []string{"dedup", "psearchy"} {
+		for _, alloc := range []string{"ptmalloc", "tcmalloc"} {
+			for _, sys := range []bench.System{bench.Linux, bench.CortenAdv} {
+				b.Run(fmt.Sprintf("%s/%s/t4/%s", app, alloc, sys), func(b *testing.B) {
+					appBench(b, sys, app, alloc, 4)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig18 reports allocator memory footprints.
+func BenchmarkFig18(b *testing.B) {
+	for _, app := range []string{"dedup", "psearchy"} {
+		for _, alloc := range []string{"ptmalloc", "tcmalloc"} {
+			b.Run(fmt.Sprintf("%s/%s", app, alloc), func(b *testing.B) {
+				o := bench.Options{Threads: []int{4}, Scale: 1}
+				var last bench.AppCell
+				for i := 0; i < b.N; i++ {
+					cell, err := bench.RunApp(bench.Linux, app, alloc, 4, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = cell
+				}
+				b.ReportMetric(float64(last.MappedBytes)/(1<<20), "MiB")
+			})
+		}
+	}
+}
+
+// BenchmarkFig19 is the RISC-V portability run.
+func BenchmarkFig19(b *testing.B) {
+	isa := cortenmm.RISCV()
+	for _, op := range workload.AllMicroOps {
+		for _, sys := range []bench.System{bench.Linux, bench.CortenAdv} {
+			b.Run(fmt.Sprintf("riscv/%s/%s", op, sys), func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					env, err := bench.NewEnv(sys, 1, 1<<16, isa)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := workload.RunMicro(env.Machine, env.Sys, workload.MicroConfig{
+						Op: op, Contention: workload.Low, Threads: 1, Iters: 300,
+					})
+					env.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.OpsPerSec()
+				}
+				b.ReportMetric(last, "mmops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig20 is the LMbench fork suite.
+func BenchmarkFig20(b *testing.B) {
+	for _, op := range workload.AllLMbenchOps {
+		for _, sys := range []bench.System{bench.Linux, bench.CortenAdv} {
+			b.Run(fmt.Sprintf("%s/%s", op, sys), func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					env, err := bench.NewEnv(sys, 2, 1<<16, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := workload.RunLMbench(env.Machine, env.Sys,
+						func() (cortenmm.MM, error) { return bench.NewSystem(sys, env.Machine, nil) },
+						op, 512, 5)
+					env.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = float64(res.PerOp.Microseconds())
+				}
+				b.ReportMetric(last, "us/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig21 is the PARSEC-other normalized run.
+func BenchmarkFig21(b *testing.B) {
+	for _, app := range []string{"blackscholes", "swaptions", "fluidanimate", "canneal"} {
+		for _, sys := range []bench.System{bench.Linux, bench.CortenAdv} {
+			b.Run(fmt.Sprintf("%s/%s", app, sys), func(b *testing.B) {
+				appBench(b, sys, app, "", 4)
+			})
+		}
+	}
+}
+
+// BenchmarkFig22 reports the memory-overhead percentages under metis.
+func BenchmarkFig22(b *testing.B) {
+	var cells []bench.MemCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = bench.Fig22(bench.Options{Threads: []int{4}, Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		b.ReportMetric(c.OverheadPct(), string(c.System)+"-ovh%")
+	}
+}
+
+// BenchmarkTable4 measures the model checker (the verification-effort
+// analog: states and transitions checked per second).
+func BenchmarkTable4(b *testing.B) {
+	topo := spec.NewTopology(3, 2)
+	m := &spec.AdvModel{
+		Topo:       topo,
+		Targets:    []int{1, 3, 4},
+		Roles:      []spec.Role{spec.RoleUnmapper, spec.RoleLocker, spec.RoleLocker},
+		UnmapChild: 3,
+	}
+	var states, transitions int
+	for i := 0; i < b.N; i++ {
+		res := spec.Check(m, 5_000_000)
+		if res.Violation != nil || res.Deadlock != nil {
+			b.Fatal("model check failed")
+		}
+		states, transitions = res.States, res.Transitions
+	}
+	b.ReportMetric(float64(states), "states")
+	b.ReportMetric(float64(transitions), "transitions")
+}
+
+// BenchmarkAblationTLB quantifies the shootdown protocols on an
+// unmap-heavy workload (design choice called out in DESIGN.md).
+func BenchmarkAblationTLB(b *testing.B) {
+	for _, mode := range []string{"sync", "early-ack", "latr"} {
+		b.Run(mode, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.AblationTLB(mode, 4, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last, "mmops/s")
+		})
+	}
+}
+
+// BenchmarkAblationCoarseLock contrasts covering-page locking with a
+// degenerate root lock.
+func BenchmarkAblationCoarseLock(b *testing.B) {
+	for _, coarse := range []bool{false, true} {
+		name := "covering"
+		if coarse {
+			name = "rootlock"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.AblationCoarse(coarse, 4, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last, "mmops/s")
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Command cortenbench regenerates the figures and tables of the
+// CortenMM evaluation (§6) on the simulated machine and prints each
+// series as labelled rows.
+//
+// Usage:
+//
+//	cortenbench [-fig all|1|2|13|14|15|16|17|18|19|20|21|22] [-threads 1,2,4,8] [-scale 1.0]
+//
+// Absolute numbers depend on the host; the comparisons between systems
+// are the reproduction target. See EXPERIMENTS.md for the side-by-side
+// with the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cortenmm/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure/table to regenerate (all, 1, 2, 13, 14, ...)")
+	threads := flag.String("threads", "", "comma-separated thread sweep (default 1,2,...,GOMAXPROCS-based)")
+	scale := flag.Float64("scale", 1.0, "iteration-count multiplier (higher = slower, more stable)")
+	flag.Parse()
+
+	o := bench.Options{Scale: *scale, W: os.Stdout}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "cortenbench: bad -threads %q\n", *threads)
+				os.Exit(2)
+			}
+			o.Threads = append(o.Threads, n)
+		}
+	}
+
+	type gen struct {
+		name string
+		run  func(bench.Options) error
+	}
+	wrap := func(f func(bench.Options) ([]bench.MicroCell, error)) func(bench.Options) error {
+		return func(o bench.Options) error { _, err := f(o); return err }
+	}
+	wrapApp := func(f func(bench.Options) ([]bench.AppCell, error)) func(bench.Options) error {
+		return func(o bench.Options) error { _, err := f(o); return err }
+	}
+	gens := []gen{
+		{"1", wrap(bench.Fig1)},
+		{"2", bench.DefaultTable2},
+		{"13", wrap(bench.Fig13)},
+		{"14", wrap(bench.Fig14)},
+		{"15", wrapApp(bench.Fig15)},
+		{"16", wrapApp(bench.Fig16)},
+		{"17", wrapApp(bench.Fig17)},
+		{"18", wrapApp(bench.Fig18)},
+		{"19", wrap(bench.Fig19)},
+		{"20", func(o bench.Options) error { _, err := bench.Fig20(o); return err }},
+		{"21", wrapApp(bench.Fig21)},
+		{"22", func(o bench.Options) error { _, err := bench.Fig22(o); return err }},
+		{"ablate", bench.Ablations},
+	}
+
+	ran := false
+	for _, g := range gens {
+		if *fig != "all" && *fig != g.name {
+			continue
+		}
+		ran = true
+		if err := g.run(o); err != nil {
+			fmt.Fprintf(os.Stderr, "cortenbench: figure %s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stdout)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "cortenbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,149 @@
+// Command loccount is the Table-5 analog: it counts the lines of code
+// needed to support each ISA / MMU feature in this reproduction, showing
+// that porting the single-level design is a per-ISA PTE codec plus a few
+// glue lines — no software-level abstraction to adapt.
+//
+// Usage:
+//
+//	loccount [-root .]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// countLoC counts non-blank, non-comment-only lines of a Go file.
+func countLoC(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// countMatching sums LoC of files under dir whose name passes keep.
+func countMatching(dir string, keep func(name string) bool) (int, []string, error) {
+	total := 0
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		if !keep(filepath.Base(path)) {
+			return nil
+		}
+		n, err := countLoC(path)
+		if err != nil {
+			return err
+		}
+		total += n
+		files = append(files, fmt.Sprintf("%s (%d)", path, n))
+		return nil
+	})
+	return total, files, err
+}
+
+// countFeature counts lines in arch files that mention a feature token
+// (the MPK case: the feature is interleaved in x8664.go).
+func countFeature(dir, token string) (int, error) {
+	total := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			return oerr
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "//") {
+				continue
+			}
+			if strings.Contains(strings.ToLower(line), token) {
+				total++
+			}
+		}
+		return sc.Err()
+	})
+	return total, err
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	verbose := flag.Bool("v", false, "list counted files")
+	flag.Parse()
+
+	archDir := filepath.Join(*root, "internal", "arch")
+
+	fmt.Println("# Table 5 analog: lines of code per ISA / MMU feature")
+	fmt.Println("# (paper: RISC-V 252 LoC, Intel MPK 82 LoC for CortenMM; Linux needs 699/273)")
+
+	riscv, files, err := countMatching(archDir, func(name string) bool { return strings.Contains(name, "riscv") })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("RISC-V support:    %4d LoC (internal/arch/riscv.go — the whole port)\n", riscv)
+	if *verbose {
+		for _, f := range files {
+			fmt.Println("   ", f)
+		}
+	}
+
+	arm, files2, err := countMatching(archDir, func(name string) bool { return strings.Contains(name, "arm64") })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ARM64 support:     %4d LoC (internal/arch/arm64.go — the whole port)\n", arm)
+	if *verbose {
+		for _, f := range files2 {
+			fmt.Println("   ", f)
+		}
+	}
+
+	mpk, err := countFeature(archDir, "pkey")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	mpk2, err := countFeature(archDir, "mpk")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Intel MPK support: %4d LoC (key-handling lines in internal/arch)\n", mpk+mpk2)
+
+	x86, _, err := countMatching(archDir, func(name string) bool { return strings.Contains(name, "x8664") })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	common, _, err := countMatching(archDir, func(name string) bool { return name == "arch.go" })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loccount:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("x86-64 support:    %4d LoC (internal/arch/x8664.go)\n", x86)
+	fmt.Printf("ISA-independent:   %4d LoC (internal/arch/arch.go — shared geometry + trait)\n", common)
+	fmt.Println("# Everything outside internal/arch is ISA-independent: the memory")
+	fmt.Println("# manager itself needs zero changes per ISA (§6.7).")
+}

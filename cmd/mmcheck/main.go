@@ -1,0 +1,153 @@
+// Command mmcheck is the verification analog of the paper's §5 (Table
+// 4): it exhaustively model-checks both locking protocols on small
+// page-table topologies — mutual exclusion (P1), the Atomic-Tree →
+// Atomic refinement (the Figure-11 property), and the CortenMM_adv
+// unmap path of Figure 7 (no use-after-free, no lost update) — and, run
+// with -bugs, re-checks protocols with seeded bugs to demonstrate the
+// checker catches them (with counterexample traces).
+//
+// Usage:
+//
+//	mmcheck [-levels 3] [-fanout 2] [-stats] [-bugs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cortenmm/internal/spec"
+)
+
+func main() {
+	levels := flag.Int("levels", 3, "page-table depth of the model topology")
+	fanout := flag.Int("fanout", 2, "children per PT page in the model topology")
+	stats := flag.Bool("stats", true, "print explored states/transitions per scenario")
+	bugs := flag.Bool("bugs", false, "also run the seeded-bug scenarios (must find violations)")
+	bound := flag.Int("bound", 20_000_000, "state-space bound")
+	flag.Parse()
+
+	topo := spec.NewTopology(*levels, *fanout)
+	leaf := topo.N - 1          // some leaf PT page
+	mid := topo.Parent[leaf]    // its parent
+	sibling := topo.Kids[0][1]  // a disjoint subtree
+	leafUnder := topo.Kids[mid] // children of mid
+
+	fail := false
+	report := func(name string, res spec.Result, wantViolation bool) {
+		totalStates += res.States
+		totalTrans += res.Transitions
+		switch {
+		case wantViolation && res.Violation == nil:
+			fmt.Printf("FAIL %-28s seeded bug NOT caught\n", name)
+			fail = true
+		case wantViolation:
+			fmt.Printf("ok   %-28s bug caught: %v\n", name, res.Violation)
+			if len(res.Trace) > 0 {
+				fmt.Printf("     counterexample: %s\n", strings.Join(res.Trace, " "))
+			}
+		case res.Violation != nil:
+			fmt.Printf("FAIL %-28s %v\n     trace: %s\n", name, res.Violation, strings.Join(res.Trace, " "))
+			fail = true
+		case res.Deadlock != nil:
+			fmt.Printf("FAIL %-28s deadlock: %s\n", name, strings.Join(res.Deadlock, " "))
+			fail = true
+		default:
+			if *stats {
+				fmt.Printf("ok   %-28s states=%-8d transitions=%d\n", name, res.States, res.Transitions)
+			} else {
+				fmt.Printf("ok   %-28s\n", name)
+			}
+		}
+	}
+
+	fmt.Printf("# mmcheck: topology levels=%d fanout=%d (%d PT pages)\n", *levels, *fanout, topo.N)
+	fmt.Println("# P1: mutual exclusion of overlapping transactions (CortenMM_rw)")
+	for _, tc := range []struct {
+		name    string
+		targets []int
+	}{
+		{"rw/same-leaf", []int{leaf, leaf}},
+		{"rw/siblings", []int{leafUnder[0], leafUnder[1]}},
+		{"rw/ancestor-descendant", []int{mid, leaf}},
+		{"rw/root-vs-leaf", []int{0, leaf}},
+		{"rw/disjoint", []int{mid, sibling}},
+		{"rw/three-cores", []int{leafUnder[0], leafUnder[1], mid}},
+	} {
+		m := &spec.RWModel{Topo: topo, Targets: tc.targets}
+		report(tc.name, spec.Check(m, *bound), false)
+	}
+
+	fmt.Println("# P1 with stepwise lock release (Drop order of Figure 4)")
+	for _, targets := range [][]int{{mid, leaf}, {leafUnder[0], leafUnder[1], mid}} {
+		m := &spec.RWModel{Topo: topo, Targets: targets, StepwiseUnlock: true}
+		report(fmt.Sprintf("rw/stepwise%v", targets), spec.Check(m, *bound), false)
+	}
+
+	fmt.Println("# Refinement: Atomic Tree Spec -> Atomic Spec (forward simulation)")
+	for _, targets := range [][]int{{mid, leaf}, {leafUnder[0], leafUnder[1], mid}} {
+		m := &spec.RWModel{Topo: topo, Targets: targets}
+		states, transitions, err := spec.CheckRWRefinement(m, *bound)
+		totalStates += states
+		totalTrans += transitions
+		if err != nil {
+			fmt.Printf("FAIL refinement %v: %v\n", targets, err)
+			fail = true
+		} else if *stats {
+			fmt.Printf("ok   refinement targets=%-12s states=%-8d transitions=%d\n",
+				strings.ReplaceAll(fmt.Sprint(targets), " ", ","), states, transitions)
+		}
+	}
+
+	fmt.Println("# CortenMM_rw needs no RCU: immediate PT-page free vs racing traversals")
+	for _, tc := range []struct {
+		name    string
+		targets []int
+		roles   []spec.Role
+	}{
+		{"rwdyn/race-to-freed", []int{mid, leafUnder[0]}, []spec.Role{spec.RoleUnmapper, spec.RoleLocker}},
+		{"rwdyn/three-cores", []int{mid, leafUnder[0], leafUnder[1]}, []spec.Role{spec.RoleUnmapper, spec.RoleLocker, spec.RoleLocker}},
+	} {
+		m := &spec.RWDynModel{Topo: topo, Targets: tc.targets, Roles: tc.roles, UnmapChild: leafUnder[0]}
+		report(tc.name, spec.Check(m, *bound), false)
+	}
+
+	fmt.Println("# P1 + Figure 7 safety for CortenMM_adv (unmap vs lock races)")
+	for _, tc := range []struct {
+		name    string
+		targets []int
+		roles   []spec.Role
+	}{
+		{"adv/fig7-race", []int{mid, leafUnder[0]}, []spec.Role{spec.RoleUnmapper, spec.RoleLocker}},
+		{"adv/disjoint", []int{mid, sibling}, []spec.Role{spec.RoleUnmapper, spec.RoleLocker}},
+		{"adv/root-locker", []int{mid, 0}, []spec.Role{spec.RoleUnmapper, spec.RoleLocker}},
+		{"adv/three-cores", []int{mid, leafUnder[0], leafUnder[1]}, []spec.Role{spec.RoleUnmapper, spec.RoleLocker, spec.RoleLocker}},
+		{"adv/two-unmappers", []int{mid, sibling}, []spec.Role{spec.RoleUnmapper, spec.RoleUnmapper}},
+	} {
+		m := &spec.AdvModel{Topo: topo, Targets: tc.targets, Roles: tc.roles, UnmapChild: leafUnder[0]}
+		report(tc.name, spec.Check(m, *bound), false)
+	}
+
+	if *bugs {
+		fmt.Println("# Seeded bugs (the checker must find each violation)")
+		rwBug := &spec.RWModel{Topo: topo, Targets: []int{mid, leaf}, SkipReadLocks: true}
+		report("bug/rw-no-read-locks", spec.Check(rwBug, *bound), true)
+		advNoStale := &spec.AdvModel{Topo: topo, Targets: []int{mid, leafUnder[0]},
+			Roles: []spec.Role{spec.RoleUnmapper, spec.RoleLocker}, UnmapChild: leafUnder[0], NoStaleCheck: true}
+		report("bug/adv-no-stale-check", spec.Check(advNoStale, *bound), true)
+		advNoRCU := &spec.AdvModel{Topo: topo, Targets: []int{mid, leafUnder[0]},
+			Roles: []spec.Role{spec.RoleUnmapper, spec.RoleLocker}, UnmapChild: leafUnder[0], NoRCU: true}
+		report("bug/adv-no-rcu", spec.Check(advNoRCU, *bound), true)
+		rwDynBug := &spec.RWDynModel{Topo: topo, Targets: []int{mid, leafUnder[0]},
+			Roles: []spec.Role{spec.RoleUnmapper, spec.RoleLocker}, UnmapChild: leafUnder[0], SkipReadLocks: true}
+		report("bug/rwdyn-lockless-no-rcu", spec.Check(rwDynBug, *bound), true)
+	}
+
+	fmt.Printf("# total: %d states, %d transitions checked\n", totalStates, totalTrans)
+	if fail {
+		os.Exit(1)
+	}
+}
+
+var totalStates, totalTrans int

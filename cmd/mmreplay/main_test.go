@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDemoTraceAllSystems(t *testing.T) {
+	for _, sys := range []string{"corten-adv", "corten-rw"} {
+		var out bytes.Buffer
+		if err := run(sys, 2, strings.NewReader(demoTrace), false, &out); err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if !strings.Contains(out.String(), "faults=") {
+			t.Errorf("%s: no stats printed: %s", sys, out.String())
+		}
+	}
+	// Linux runs the demo minus the ops it does not carry.
+	linuxTrace := ""
+	for _, line := range strings.Split(demoTrace, "\n") {
+		if strings.HasPrefix(line, "swapout") || strings.HasPrefix(line, "mremap") {
+			continue
+		}
+		linuxTrace += line + "\n"
+	}
+	var out bytes.Buffer
+	if err := run("linux", 2, strings.NewReader(linuxTrace), false, &out); err != nil {
+		t.Fatalf("linux: %v", err)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := []struct {
+		name, trace string
+	}{
+		{"unknown op", "frobnicate x 1\n"},
+		{"unknown region", "munmap nothere\n"},
+		{"bad perm", "mmap a 4096 wx\n"},
+		{"offset out of range", "mmap a 4096\ntouch a 99\n"},
+		{"swap unsupported", "mmap a 4096\nswapout a\n"},
+	}
+	for _, tc := range cases {
+		sys := "corten-adv"
+		if tc.name == "swap unsupported" {
+			sys = "linux"
+		}
+		if err := run(sys, 1, strings.NewReader(tc.trace), false, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	trace := "# header\n\n  # indented comment\nmmap a 4096\nstore a 0 1\nload a 0\nmunmap a\n"
+	if err := run("corten-adv", 1, strings.NewReader(trace), true, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package cortenmm_test
+
+import (
+	"fmt"
+
+	"cortenmm"
+)
+
+// ExampleNew shows the minimal lifecycle: create, map on demand, fault
+// via a store, and tear down.
+func ExampleNew() {
+	as, err := cortenmm.New(cortenmm.Options{Protocol: cortenmm.ProtocolAdv})
+	if err != nil {
+		panic(err)
+	}
+	defer as.Destroy(0)
+
+	va, _ := as.Mmap(0, 1<<20, cortenmm.PermRW, 0)
+	fmt.Println("faults before first access:", as.Stats().PageFaults.Load())
+	_ = as.Store(0, va, 42)
+	b, _ := as.Load(0, va)
+	fmt.Println("value:", b, "faults:", as.Stats().PageFaults.Load())
+	// Output:
+	// faults before first access: 0
+	// value: 42 faults: 1
+}
+
+// ExampleAddrSpace_Lock shows the transactional interface of the
+// paper's Figure 4: query and mark atomically under one range lock.
+func ExampleAddrSpace_Lock() {
+	as, _ := cortenmm.New(cortenmm.Options{})
+	defer as.Destroy(0)
+
+	lo := cortenmm.Vaddr(0x4000_0000)
+	tx, _ := as.Lock(0, lo, lo+8*cortenmm.PageSize)
+	defer tx.Close()
+
+	_ = tx.Mark(lo, lo+8*cortenmm.PageSize, cortenmm.Status{
+		Kind: cortenmm.StatusPrivateAnon,
+		Perm: cortenmm.PermRW,
+	})
+	st, _ := tx.Query(lo)
+	fmt.Println(st.Kind, st.Perm)
+	// Output:
+	// private-anon rw--
+}
+
+// ExampleAddrSpace_Fork shows copy-on-write isolation.
+func ExampleAddrSpace_Fork() {
+	parent, _ := cortenmm.New(cortenmm.Options{Protocol: cortenmm.ProtocolAdv})
+	defer parent.Destroy(0)
+	va, _ := parent.Mmap(0, cortenmm.PageSize, cortenmm.PermRW, 0)
+	_ = parent.Store(0, va, 1)
+
+	child, _ := parent.Fork(0)
+	defer child.Destroy(1)
+	_ = child.Store(1, va, 2)
+
+	pb, _ := parent.Load(0, va)
+	cb, _ := child.Load(1, va)
+	fmt.Println("parent:", pb, "child:", cb)
+	// Output:
+	// parent: 1 child: 2
+}
+
+// ExampleAddrSpace_Regions shows the /proc/maps-style layout derived by
+// walking the page table (CortenMM keeps no VMA list to print).
+func ExampleAddrSpace_Regions() {
+	as, _ := cortenmm.New(cortenmm.Options{})
+	defer as.Destroy(0)
+	_ = as.MmapFixed(0, 0x10000000, 4*cortenmm.PageSize, cortenmm.PermRW, 0)
+	_ = as.Store(0, 0x10000000, 1)
+
+	regions, _ := as.Regions(0)
+	for _, r := range regions {
+		fmt.Println(r)
+	}
+	// Output:
+	// 000010000000-000010004000 rw-- private-anon  resident=1
+}

@@ -1,0 +1,3 @@
+module cortenmm
+
+go 1.24

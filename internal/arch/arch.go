@@ -1,0 +1,216 @@
+// Package arch abstracts the page-table formats of the ISAs CortenMM
+// targets (x86-64 and RISC-V Sv48), mirroring how the paper hides MMU
+// differences behind a Rust trait (Figure 9).
+//
+// All supported ISAs share the same radix-tree geometry — 4 levels,
+// 512 entries per level, 4 KiB base pages, 48-bit virtual addresses —
+// which is exactly the observation CortenMM builds on: the software-level
+// abstraction is unnecessary because mainstream MMUs are nearly identical.
+// The geometry therefore lives here as package-level constants while the
+// PTE bit layouts differ per ISA behind the ISA interface.
+package arch
+
+import "fmt"
+
+// Shared radix-tree geometry. Level 1 is the leaf page table (each entry
+// maps one 4 KiB page); level 4 is the root.
+const (
+	// PageShift is log2 of the base page size.
+	PageShift = 12
+	// PageSize is the base page size in bytes.
+	PageSize = 1 << PageShift
+	// IndexBits is log2 of the number of entries in one PT page.
+	IndexBits = 9
+	// PTEntries is the number of entries in one page-table page.
+	PTEntries = 1 << IndexBits
+	// Levels is the depth of the page table; level 1 = leaf, Levels = root.
+	Levels = 4
+	// VABits is the number of significant virtual-address bits.
+	VABits = PageShift + IndexBits*Levels // 48
+)
+
+// Vaddr is a virtual address in the simulated address space.
+type Vaddr uint64
+
+// PFN is a physical frame number (physical address >> PageShift).
+type PFN uint64
+
+// NoPFN is the sentinel for "no frame".
+const NoPFN = PFN(^uint64(0))
+
+// Perm describes access permissions plus the software bits CortenMM keeps
+// in the PTE (the paper's "first unused bit as copy-on-write", §4.2).
+type Perm uint16
+
+const (
+	// PermRead allows load accesses.
+	PermRead Perm = 1 << iota
+	// PermWrite allows store accesses.
+	PermWrite
+	// PermExec allows instruction fetches.
+	PermExec
+	// PermUser allows user-mode access.
+	PermUser
+	// PermCOW marks a copy-on-write page (software bit).
+	PermCOW
+	// PermShared marks a page shared between address spaces (software bit).
+	PermShared
+)
+
+// PermRW is the common read+write permission.
+const PermRW = PermRead | PermWrite
+
+// PermRWX grants read, write and execute.
+const PermRWX = PermRead | PermWrite | PermExec
+
+// Contains reports whether every bit in q is set in p.
+func (p Perm) Contains(q Perm) bool { return p&q == q }
+
+// String renders the permission like "rwxu" with software bits suffixed.
+func (p Perm) String() string {
+	b := []byte("----")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	if p&PermUser != 0 {
+		b[3] = 'u'
+	}
+	s := string(b)
+	if p&PermCOW != 0 {
+		s += "+cow"
+	}
+	if p&PermShared != 0 {
+		s += "+shared"
+	}
+	return s
+}
+
+// ProtKey is an Intel MPK protection key (0-15). Keys are an optional MMU
+// feature; ISAs that support them encode the key in spare PTE bits.
+type ProtKey uint8
+
+// MaxProtKey is the largest valid protection key.
+const MaxProtKey ProtKey = 15
+
+// ISA encodes and decodes page-table entries for one instruction-set
+// architecture. It is the Go analog of the paper's PageTableEntryTrait.
+//
+// All methods are pure functions over the 64-bit PTE word so that callers
+// can read PTEs with a single atomic load and interpret them without
+// holding any lock (required by the CortenMM_adv lockless traversal).
+type ISA interface {
+	// Name identifies the ISA, e.g. "x86_64" or "riscv64".
+	Name() string
+
+	// EncodeLeaf builds a present leaf entry mapping pfn at the given
+	// level (1 = 4 KiB, 2 = 2 MiB, 3 = 1 GiB) with permission p.
+	EncodeLeaf(pfn PFN, p Perm, level int) uint64
+	// EncodeTable builds a present non-leaf entry pointing at the PT page
+	// in pfn.
+	EncodeTable(pfn PFN) uint64
+
+	// IsPresent reports whether the entry points to something
+	// (pte_present in Linux terms).
+	IsPresent(pte uint64) bool
+	// IsLeaf reports whether a present entry at the given level maps a
+	// page rather than pointing to a lower-level PT page.
+	IsLeaf(pte uint64, level int) bool
+	// PFNOf extracts the physical frame number from a present entry.
+	PFNOf(pte uint64) PFN
+	// PermOf extracts the permission bits from a present leaf entry.
+	PermOf(pte uint64) Perm
+	// WithPerm returns pte with its permission bits replaced by p,
+	// keeping the frame number and level shape intact.
+	WithPerm(pte uint64, p Perm, level int) uint64
+
+	// Accessed and Dirty report the hardware A/D bits.
+	Accessed(pte uint64) bool
+	Dirty(pte uint64) bool
+	// SetAccessed and SetDirty return pte with the A/D bit set; the
+	// simulated hardware walker calls these on access.
+	SetAccessed(pte uint64) uint64
+	SetDirty(pte uint64) uint64
+
+	// SupportsHugeAt reports whether a leaf may live at the given level.
+	SupportsHugeAt(level int) bool
+
+	// Features describes optional MMU features (e.g. MPK).
+	Features() FeatureSet
+	// WithProtKey tags a leaf entry with an MPK protection key. ISAs
+	// without MPK return pte unchanged.
+	WithProtKey(pte uint64, key ProtKey) uint64
+	// ProtKeyOf extracts the protection key of a leaf entry (0 if the
+	// ISA has no MPK support).
+	ProtKeyOf(pte uint64) ProtKey
+}
+
+// FeatureSet lists optional MMU features an ISA implementation provides.
+type FeatureSet struct {
+	// MPK is true when the ISA encodes Intel memory-protection keys.
+	MPK bool
+	// HugeLevels holds the levels (beyond 1) at which leaves may appear.
+	HugeLevels []int
+}
+
+// IndexAt returns the PT-page index of va at the given level (1..Levels).
+func IndexAt(va Vaddr, level int) int {
+	return int(uint64(va) >> SpanShift(level-1) & (PTEntries - 1))
+}
+
+// SpanShift returns log2 of the bytes covered by one entry at the given
+// level: level 0 is a byte offset, level 1 entries cover 4 KiB, etc.
+func SpanShift(level int) uint {
+	return PageShift + IndexBits*uint(level)
+}
+
+// SpanBytes returns the bytes covered by one entry at the given level.
+func SpanBytes(level int) uint64 { return 1 << (PageShift + IndexBits*uint(level-1)) }
+
+// PageAlignDown rounds va down to a base-page boundary.
+func PageAlignDown(va Vaddr) Vaddr { return va &^ (PageSize - 1) }
+
+// PageAlignUp rounds va up to a base-page boundary.
+func PageAlignUp(va Vaddr) Vaddr { return (va + PageSize - 1) &^ (PageSize - 1) }
+
+// IsPageAligned reports whether va is a multiple of the base page size.
+func IsPageAligned(va Vaddr) bool { return va&(PageSize-1) == 0 }
+
+// MaxVaddr is one past the largest representable virtual address.
+const MaxVaddr = Vaddr(1) << VABits
+
+// CheckCanonical validates that [va, va+size) lies inside the address
+// space and is page-aligned.
+func CheckCanonical(va Vaddr, size uint64) error {
+	if !IsPageAligned(va) || size%PageSize != 0 {
+		return fmt.Errorf("arch: range %#x+%#x not page aligned", va, size)
+	}
+	if size == 0 {
+		return fmt.Errorf("arch: empty range at %#x", va)
+	}
+	if uint64(va)+size > uint64(MaxVaddr) || uint64(va)+size < uint64(va) {
+		return fmt.Errorf("arch: range %#x+%#x exceeds %d-bit address space", va, size, VABits)
+	}
+	return nil
+}
+
+// ByName returns the ISA implementation registered under name.
+func ByName(name string) (ISA, error) {
+	switch name {
+	case "x86_64", "x86-64", "amd64":
+		return X8664{}, nil
+	case "x86_64+mpk", "mpk":
+		return X8664{EnableMPK: true}, nil
+	case "riscv64", "riscv", "rv64", "sv48":
+		return RISCV{}, nil
+	case "arm64", "aarch64", "armv8":
+		return ARM64{}, nil
+	default:
+		return nil, fmt.Errorf("arch: unknown ISA %q", name)
+	}
+}

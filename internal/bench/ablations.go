@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"cortenmm/internal/core"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/tlb"
+	"cortenmm/internal/workload"
+)
+
+// AblationTLB measures unmap throughput (ops/sec) under one of the
+// three shootdown protocols (§4.5): "sync", "early-ack" or "latr".
+func AblationTLB(mode string, threads, iters int) (float64, error) {
+	var m tlb.Mode
+	switch mode {
+	case "sync":
+		m = tlb.ModeSync
+	case "early-ack":
+		m = tlb.ModeEarlyAck
+	case "latr":
+		m = tlb.ModeLATR
+	default:
+		return 0, fmt.Errorf("bench: unknown TLB mode %q", mode)
+	}
+	machine := cpusim.New(cpusim.Config{Cores: threads, Frames: framesFor(threads*iters*4 + 4096), TLBMode: m})
+	sys, err := core.New(core.Options{Machine: machine, Protocol: core.ProtocolAdv, PerCoreVA: true})
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		sys.Destroy(0)
+		machine.Quiesce()
+	}()
+	res, err := workload.RunMicro(machine, sys, workload.MicroConfig{
+		Op: workload.OpUnmap, Contention: workload.Low, Threads: threads, Iters: iters,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.OpsPerSec(), nil
+}
+
+// AblationCoarse measures page-fault throughput with covering-page
+// locking vs a degenerate root lock, quantifying the value of locking
+// at the lowest covering PT page.
+func AblationCoarse(coarse bool, threads, iters int) (float64, error) {
+	machine := cpusim.New(cpusim.Config{Cores: threads, Frames: framesFor(threads*iters*4 + 4096)})
+	sys, err := core.New(core.Options{
+		Machine: machine, Protocol: core.ProtocolAdv, PerCoreVA: true, CoarseLocking: coarse,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		sys.Destroy(0)
+		machine.Quiesce()
+	}()
+	res, err := workload.RunMicro(machine, sys, workload.MicroConfig{
+		Op: workload.OpPF, Contention: workload.Low, Threads: threads, Iters: iters,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.OpsPerSec(), nil
+}
+
+// AblationLockGranularity measures mmap-PF throughput for rw vs adv —
+// the Figure 13/14 protocol comparison condensed into one number pair.
+func AblationLockGranularity(protocol core.Protocol, threads, iters int) (float64, error) {
+	machine := cpusim.New(cpusim.Config{Cores: threads, Frames: framesFor(threads*iters*4 + 4096)})
+	sys, err := core.New(core.Options{Machine: machine, Protocol: protocol, PerCoreVA: true})
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		sys.Destroy(0)
+		machine.Quiesce()
+	}()
+	res, err := workload.RunMicro(machine, sys, workload.MicroConfig{
+		Op: workload.OpMmapPF, Contention: workload.Low, Threads: threads, Iters: iters,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.OpsPerSec(), nil
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"cortenmm/internal/core"
+)
+
+// Ablations prints the design-choice ablation rows DESIGN.md calls out:
+// rw vs adv protocol, covering-page vs root locking, and the three TLB
+// shootdown protocols.
+func Ablations(o Options) error {
+	o = o.norm()
+	threads := maxThreads(o.Threads)
+	iters := o.iters(600)
+	w := o.W
+
+	fmt.Fprintln(w, "# Ablation: locking protocol (mmap-PF ops/sec)")
+	for _, p := range []core.Protocol{core.ProtocolRW, core.ProtocolAdv} {
+		best := 0.0
+		for r := 0; r < o.Repeat; r++ {
+			v, err := AblationLockGranularity(p, threads, iters)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+		}
+		fmt.Fprintf(w, "ablate protocol=%-4s threads=%d ops=%.0f\n", p, threads, best)
+	}
+
+	fmt.Fprintln(w, "# Ablation: covering-page vs root locking (PF ops/sec)")
+	for _, coarse := range []bool{false, true} {
+		name := "covering"
+		if coarse {
+			name = "rootlock"
+		}
+		best := 0.0
+		for r := 0; r < o.Repeat; r++ {
+			v, err := AblationCoarse(coarse, threads, iters)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+		}
+		fmt.Fprintf(w, "ablate lock=%-9s threads=%d ops=%.0f\n", name, threads, best)
+	}
+
+	fmt.Fprintln(w, "# Ablation: TLB shootdown protocol (unmap ops/sec)")
+	for _, mode := range []string{"sync", "early-ack", "latr"} {
+		best := 0.0
+		for r := 0; r < o.Repeat; r++ {
+			v, err := AblationTLB(mode, threads, iters)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+		}
+		fmt.Fprintf(w, "ablate tlb=%-9s threads=%d ops=%.0f\n", mode, threads, best)
+	}
+	return nil
+}

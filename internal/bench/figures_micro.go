@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/workload"
+)
+
+// MicroCell is one measured (system, op, contention, threads) point.
+type MicroCell struct {
+	System     System
+	Op         workload.MicroOp
+	Contention workload.Contention
+	Threads    int
+	OpsPerSec  float64
+}
+
+// microSupports reports whether a system can run an op (NrOS lacks
+// on-demand paging, so only mmap-PF and unmap apply, §6.2; for NrOS
+// mmap-PF *is* mmap).
+func microSupports(sys System, op workload.MicroOp) bool {
+	if sys == NrOS {
+		return op == workload.OpMmapPF || op == workload.OpUnmap
+	}
+	return true
+}
+
+// runMicroCell measures one point, best of repeat fresh environments.
+func runMicroCell(sys System, isa arch.ISA, op workload.MicroOp, cont workload.Contention, threads, iters, repeat int) (MicroCell, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	best := MicroCell{System: sys, Op: op, Contention: cont, Threads: threads}
+	for r := 0; r < repeat; r++ {
+		// mmap-PF/PF back 4 pages per op; unmap pre-backs the same.
+		frames := framesFor(threads*iters*4 + 4096)
+		env, err := NewEnv(sys, threads, frames, isa)
+		if err != nil {
+			return MicroCell{}, err
+		}
+		wop := op
+		if sys == NrOS && op == workload.OpMmapPF {
+			wop = workload.OpMmap // NrOS mmap is eager: it *is* mmap-PF
+		}
+		res, err := workload.RunMicro(env.Machine, env.Sys, workload.MicroConfig{
+			Op: wop, Contention: cont, Threads: threads, Iters: iters,
+		})
+		env.Close()
+		if err != nil {
+			return MicroCell{}, err
+		}
+		if v := res.OpsPerSec(); v > best.OpsPerSec {
+			best.OpsPerSec = v
+		}
+	}
+	return best, nil
+}
+
+// Fig1 regenerates the teaser: multicore throughput of (a) mmap+access
+// and (b) munmap, comparing Linux, the two research baselines, and
+// CortenMM.
+func Fig1(o Options) ([]MicroCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# Figure 1: multicore mmap-PF and unmap throughput (ops/sec)")
+	var out []MicroCell
+	for _, op := range []workload.MicroOp{workload.OpMmapPF, workload.OpUnmap} {
+		for _, threads := range o.Threads {
+			fmt.Fprintf(o.W, "fig1 op=%s threads=%d", op, threads)
+			for _, sys := range []System{Linux, RadixVM, NrOS, CortenAdv} {
+				cell, err := runMicroCell(sys, nil, op, workload.Low, threads, o.iters(800), o.Repeat)
+				if err != nil {
+					return nil, fmt.Errorf("fig1 %s/%s/%d: %w", sys, op, threads, err)
+				}
+				out = append(out, cell)
+				fmt.Fprintf(o.W, " %s=%.0f", sys, cell.OpsPerSec)
+			}
+			fmt.Fprintln(o.W)
+		}
+	}
+	return out, nil
+}
+
+// Fig13 regenerates the single-threaded microbenchmarks: throughput of
+// the five Table-3 operations on every system.
+func Fig13(o Options) ([]MicroCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# Figure 13: single-threaded microbenchmark throughput (ops/sec)")
+	var out []MicroCell
+	for _, op := range workload.AllMicroOps {
+		fmt.Fprintf(o.W, "fig13 op=%-10s", op)
+		var linuxV float64
+		for _, sys := range AllSystems {
+			if !microSupports(sys, op) {
+				fmt.Fprintf(o.W, " %s=n/a", sys)
+				continue
+			}
+			cell, err := runMicroCell(sys, nil, op, workload.Low, 1, o.iters(1500), o.Repeat)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%s: %w", sys, op, err)
+			}
+			out = append(out, cell)
+			if sys == Linux {
+				linuxV = cell.OpsPerSec
+			}
+			fmt.Fprintf(o.W, " %s=%.0f", sys, cell.OpsPerSec)
+		}
+		if linuxV > 0 {
+			fmt.Fprintf(o.W, "  (corten-adv/linux shown in EXPERIMENTS.md)")
+		}
+		fmt.Fprintln(o.W)
+	}
+	return out, nil
+}
+
+// Fig14 regenerates the multithreaded microbenchmarks: the five ops,
+// low- and high-contention variants, across the thread sweep.
+func Fig14(o Options) ([]MicroCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# Figure 14: multithreaded microbenchmark throughput (ops/sec)")
+	var out []MicroCell
+	for _, cont := range []workload.Contention{workload.Low, workload.High} {
+		for _, op := range workload.AllMicroOps {
+			for _, threads := range o.Threads {
+				fmt.Fprintf(o.W, "fig14 op=%-10s contention=%-4s threads=%-3d", op, cont, threads)
+				for _, sys := range AllSystems {
+					if !microSupports(sys, op) {
+						continue
+					}
+					cell, err := runMicroCell(sys, nil, op, cont, threads, o.iters(600), o.Repeat)
+					if err != nil {
+						return nil, fmt.Errorf("fig14 %s/%s/%s/%d: %w", sys, op, cont, threads, err)
+					}
+					out = append(out, cell)
+					fmt.Fprintf(o.W, " %s=%.0f", sys, cell.OpsPerSec)
+				}
+				fmt.Fprintln(o.W)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig19 regenerates the RISC-V portability check: the Table-3 ops under
+// the riscv64 page-table format, single-threaded and multithreaded,
+// Linux vs CortenMM_adv. The performance relationships should mirror
+// the x86-64 results (§6.7).
+func Fig19(o Options) ([]MicroCell, error) {
+	o = o.norm()
+	isa := arch.RISCV{}
+	fmt.Fprintln(o.W, "# Figure 19: microbenchmarks on RISC-V Sv48 (ops/sec)")
+	var out []MicroCell
+	mt := maxThreads(o.Threads)
+	for _, threads := range []int{1, mt} {
+		for _, op := range workload.AllMicroOps {
+			fmt.Fprintf(o.W, "fig19 threads=%-3d op=%-10s", threads, op)
+			for _, sys := range []System{Linux, CortenRW, CortenAdv} {
+				cell, err := runMicroCell(sys, isa, op, workload.Low, threads, o.iters(800), o.Repeat)
+				if err != nil {
+					return nil, fmt.Errorf("fig19 %s/%s: %w", sys, op, err)
+				}
+				out = append(out, cell)
+				fmt.Fprintf(o.W, " %s=%.0f", sys, cell.OpsPerSec)
+			}
+			fmt.Fprintln(o.W)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package bench is the evaluation harness: it instantiates each memory
+// management system on a simulated machine, runs the paper's workloads
+// against them, and prints the rows/series of every figure and table in
+// §6. Absolute numbers differ from the paper (the substrate is a
+// simulator, not a 384-core EPYC), but the comparisons — who wins,
+// roughly by how much, where scaling collapses — are the reproduction
+// target.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/core"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/nros"
+	"cortenmm/internal/radixvm"
+	"cortenmm/internal/tlb"
+	"cortenmm/internal/vma"
+)
+
+// System identifies one competitor.
+type System string
+
+// The evaluated systems (§6.1) plus the §6.4 ablations.
+const (
+	Linux     System = "linux"
+	CortenRW  System = "corten-rw"
+	CortenAdv System = "corten-adv"
+	RadixVM   System = "radixvm"
+	NrOS      System = "nros"
+	// AdvBase is corten-adv without the per-core VA allocator and
+	// without lazy TLB shootdown (the adv_base ablation).
+	AdvBase System = "adv-base"
+	// AdvVPA adds back only the per-core VA allocator (adv_+vpa).
+	AdvVPA System = "adv+vpa"
+)
+
+// AllSystems is the Figure 13/14 lineup.
+var AllSystems = []System{Linux, CortenRW, CortenAdv, RadixVM, NrOS}
+
+// Env is one benchmark environment: a fresh machine plus a fresh
+// address space of the requested flavour.
+type Env struct {
+	Machine *cpusim.Machine
+	Sys     mm.MM
+}
+
+// NewEnv builds a machine sized for the workload and an address space
+// of the given system on it. isa may be nil for x86-64.
+func NewEnv(sys System, cores, frames int, isa arch.ISA) (*Env, error) {
+	mode := tlb.ModeSync
+	switch sys {
+	case CortenAdv, AdvVPA, CortenRW:
+		// Full CortenMM uses the advanced TLB protocols; adv+vpa keeps
+		// sync shootdown (only the VA-allocator optimization).
+		if sys == CortenAdv || sys == CortenRW {
+			mode = tlb.ModeLATR
+		}
+	}
+	m := cpusim.New(cpusim.Config{Cores: cores, Frames: frames, NUMANodes: 2, TLBMode: mode})
+	s, err := NewSystem(sys, m, isa)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Machine: m, Sys: s}, nil
+}
+
+// NewSystem creates an address space of the given flavour on m.
+func NewSystem(sys System, m *cpusim.Machine, isa arch.ISA) (mm.MM, error) {
+	switch sys {
+	case Linux:
+		return vma.New(m, isa)
+	case CortenRW:
+		return core.New(core.Options{Machine: m, ISA: isa, Protocol: core.ProtocolRW, PerCoreVA: true})
+	case CortenAdv:
+		return core.New(core.Options{Machine: m, ISA: isa, Protocol: core.ProtocolAdv, PerCoreVA: true})
+	case AdvBase:
+		return core.New(core.Options{Machine: m, ISA: isa, Protocol: core.ProtocolAdv, PerCoreVA: false})
+	case AdvVPA:
+		return core.New(core.Options{Machine: m, ISA: isa, Protocol: core.ProtocolAdv, PerCoreVA: true})
+	case RadixVM:
+		return radixvm.New(m, isa)
+	case NrOS:
+		return nros.New(m, isa)
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", sys)
+}
+
+// Close tears the environment down.
+func (e *Env) Close() {
+	e.Sys.Destroy(0)
+	e.Machine.Quiesce()
+}
+
+// Options tunes a harness run.
+type Options struct {
+	// Threads is the core-count sweep (default 1,2,4,...,2×GOMAXPROCS
+	// capped at 16 — the simulator oversubscribes gracefully).
+	Threads []int
+	// Scale multiplies iteration counts (1.0 = quick, higher = more
+	// stable numbers).
+	Scale float64
+	// Repeat runs each cell this many times and keeps the best —
+	// cheap insurance against scheduler noise (default 3).
+	Repeat int
+	// W receives the printed rows.
+	W io.Writer
+}
+
+func (o Options) norm() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 3
+	}
+	if len(o.Threads) == 0 {
+		max := runtime.GOMAXPROCS(0)
+		if max > 16 {
+			max = 16
+		}
+		for t := 1; t <= max; t *= 2 {
+			o.Threads = append(o.Threads, t)
+		}
+	}
+	if o.W == nil {
+		o.W = io.Discard
+	}
+	return o
+}
+
+func (o Options) iters(base int) int {
+	n := int(float64(base) * o.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func maxThreads(threads []int) int {
+	max := 1
+	for _, t := range threads {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// framesFor sizes simulated physical memory for a page demand with
+// headroom, clamped to sane bounds.
+func framesFor(pages int) int {
+	f := 1 << 14
+	for f < pages*2 {
+		f <<= 1
+	}
+	if f > 1<<21 {
+		f = 1 << 21
+	}
+	return f
+}

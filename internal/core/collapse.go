@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+)
+
+// CollapseHuge promotes the 2-MiB span containing va into one huge
+// mapping (the khugepaged operation), provided every 4-KiB page in the
+// span is a resident, exclusively owned anonymous page with a uniform
+// permission. The check, the copy into a fresh naturally aligned block,
+// and the remap all happen inside a single transaction, so concurrent
+// faults in the span serialize against the collapse instead of racing
+// it. Returns mm.ErrNotSupported when the span is not collapsible.
+func (a *AddrSpace) CollapseHuge(core int, va arch.Vaddr) error {
+	if !a.isa.SupportsHugeAt(2) {
+		return fmt.Errorf("%w: no 2MiB pages on %s", mm.ErrNotSupported, a.isa.Name())
+	}
+	t0 := a.kernelEnter()
+	defer a.kernelExit(t0)
+	a.m.OpTick(core)
+
+	span := arch.SpanBytes(2)
+	base := va &^ arch.Vaddr(span-1)
+	// The collapse rewrites a level-2 entry, so the covering PT page
+	// must be at level 2 or above (LockLevel floor).
+	c, err := a.LockLevel(core, base, base+arch.Vaddr(span), 2)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Pass 1: the whole span must be uniform, resident, anonymous and
+	// exclusively owned.
+	var perm arch.Perm
+	var key arch.ProtKey
+	for off := uint64(0); off < span; off += arch.PageSize {
+		st, err := c.Query(base + arch.Vaddr(off))
+		if err != nil {
+			return err
+		}
+		if st.Kind != pt.StatusMapped || st.Perm&(arch.PermShared|arch.PermCOW) != 0 {
+			return fmt.Errorf("%w: page %#x not collapsible (%v)", mm.ErrNotSupported, base+arch.Vaddr(off), st.Kind)
+		}
+		head := a.m.Phys.HeadOf(st.Page)
+		d := a.m.Phys.Desc(head)
+		if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
+			return fmt.Errorf("%w: page %#x shared or non-anon", mm.ErrNotSupported, base+arch.Vaddr(off))
+		}
+		if off == 0 {
+			perm, key = st.Perm, st.Key
+		} else if st.Perm != perm || st.Key != key {
+			return fmt.Errorf("%w: non-uniform permissions in span", mm.ErrNotSupported)
+		}
+	}
+
+	// Pass 2: copy into a fresh order-9 block.
+	block, err := a.m.Phys.AllocFrames(core, arch.IndexBits, mem.KindAnon)
+	if err != nil {
+		return err // no contiguous memory: not an error of the span
+	}
+	dst := a.m.Phys.Data(block)
+	for off := uint64(0); off < span; off += arch.PageSize {
+		st, _ := c.Query(base + arch.Vaddr(off))
+		copy(dst[off:off+arch.PageSize], a.m.Phys.DataPage(st.Page))
+	}
+
+	// Pass 3: replace the 512 small mappings with one huge leaf. Map
+	// handles releasing the old subtree and queueing the TLB flush.
+	if err := c.MapKeyed(base, block, 2, perm, key); err != nil {
+		return err
+	}
+	c.needSync = true // the small frames are freed and reusable at once
+	a.stats.Collapses.Add(1)
+	return nil
+}

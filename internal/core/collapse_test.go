@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+)
+
+func TestCollapseHugePromotes(t *testing.T) {
+	m := cpusim.New(cpusim.Config{Cores: 4, Frames: 1 << 15})
+	a, err := New(Options{Machine: m, Protocol: ProtocolAdv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Destroy(0)
+	span := arch.SpanBytes(2)
+	base := arch.Vaddr(span) // 2 MiB aligned
+	if err := a.MmapFixed(0, base, span, arch.PermRW, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fault every page in with a recognizable pattern.
+	for off := uint64(0); off < span; off += arch.PageSize {
+		if err := a.Store(0, base+arch.Vaddr(off), byte(off/arch.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ptPagesBefore := a.tree.PTPageCount.Load()
+	if err := a.CollapseHuge(0, base+123*arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if a.stats.Collapses.Load() != 1 {
+		t.Error("collapse counter not bumped")
+	}
+	// The leaf PT page is gone: a huge leaf replaced 512 entries.
+	m.Quiesce()
+	if got := a.tree.PTPageCount.Load(); got != ptPagesBefore-1 {
+		t.Errorf("PT pages = %d, want %d", got, ptPagesBefore-1)
+	}
+	pte, level, ok := a.tree.Walk(base)
+	if !ok || level != 2 {
+		t.Fatalf("walk after collapse: ok=%v level=%d", ok, level)
+	}
+	_ = pte
+	// Data survived the copy.
+	for off := uint64(0); off < span; off += 37 * arch.PageSize {
+		b, err := a.Load(0, base+arch.Vaddr(off))
+		if err != nil || b != byte(off/arch.PageSize) {
+			t.Fatalf("page %d after collapse = %d, %v", off/arch.PageSize, b, err)
+		}
+	}
+	// Exactly one 512-frame block resident now.
+	if got := m.Phys.KindFrames(mem.KindAnon); got != 512 {
+		t.Errorf("anon frames = %d, want 512", got)
+	}
+	checkWF(t, a)
+	// And it can be split right back by a partial unmap.
+	if err := a.Munmap(0, base, arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Load(0, base+arch.PageSize)
+	if err != nil || b != 1 {
+		t.Fatalf("after re-split: %d, %v", b, err)
+	}
+	checkWF(t, a)
+}
+
+func TestCollapseRejectsPartialSpan(t *testing.T) {
+	m := cpusim.New(cpusim.Config{Cores: 2, Frames: 1 << 15})
+	a, _ := New(Options{Machine: m, Protocol: ProtocolRW})
+	defer a.Destroy(0)
+	span := arch.SpanBytes(2)
+	base := arch.Vaddr(span)
+	a.MmapFixed(0, base, span, arch.PermRW, 0)
+	a.Store(0, base, 1) // only one page resident
+	if err := a.CollapseHuge(0, base); !errors.Is(err, mm.ErrNotSupported) {
+		t.Errorf("partial span collapsed: %v", err)
+	}
+}
+
+func TestCollapseRejectsCOW(t *testing.T) {
+	m := cpusim.New(cpusim.Config{Cores: 2, Frames: 1 << 16})
+	a, _ := New(Options{Machine: m, Protocol: ProtocolAdv})
+	span := arch.SpanBytes(2)
+	base := arch.Vaddr(span)
+	a.MmapFixed(0, base, span, arch.PermRW, 0)
+	for off := uint64(0); off < span; off += arch.PageSize {
+		a.Store(0, base+arch.Vaddr(off), 1)
+	}
+	child, err := a.Fork(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CollapseHuge(0, base); !errors.Is(err, mm.ErrNotSupported) {
+		t.Errorf("COW span collapsed: %v", err)
+	}
+	child.Destroy(1)
+	a.Destroy(0)
+}
+
+func TestCollapseThenTouchConcurrent(t *testing.T) {
+	// Collapse racing faults on the same span: the transaction
+	// serializes them; afterwards data is consistent.
+	m := cpusim.New(cpusim.Config{Cores: 4, Frames: 1 << 15})
+	a, _ := New(Options{Machine: m, Protocol: ProtocolAdv})
+	defer a.Destroy(0)
+	span := arch.SpanBytes(2)
+	base := arch.Vaddr(span)
+	a.MmapFixed(0, base, span, arch.PermRW, 0)
+	for off := uint64(0); off < span; off += arch.PageSize {
+		a.Store(0, base+arch.Vaddr(off), 9)
+	}
+	m.Run(4, func(core int) {
+		if core == 0 {
+			_ = a.CollapseHuge(0, base)
+			return
+		}
+		for i := 0; i < 100; i++ {
+			va := base + arch.Vaddr((core*100+i)%512)*arch.PageSize
+			if err := a.Touch(core, va, pt.AccessRead); err != nil {
+				t.Errorf("touch during collapse: %v", err)
+				return
+			}
+		}
+	})
+	b, err := a.Load(0, base+500*arch.PageSize)
+	if err != nil || b != 9 {
+		t.Fatalf("after concurrent collapse: %d, %v", b, err)
+	}
+	checkWF(t, a)
+}

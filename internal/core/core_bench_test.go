@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/pt"
+)
+
+func benchSpace(b *testing.B, p Protocol, cores int) (*AddrSpace, *cpusim.Machine) {
+	b.Helper()
+	m := cpusim.New(cpusim.Config{Cores: cores, Frames: 1 << 18})
+	a, err := New(Options{Machine: m, Protocol: p, PerCoreVA: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, m
+}
+
+// BenchmarkLockClose measures the raw transaction overhead: lock one
+// page's covering PT page and release it, for both protocols.
+func BenchmarkLockClose(b *testing.B) {
+	for _, p := range protocols {
+		b.Run(p.String(), func(b *testing.B) {
+			a, _ := benchSpace(b, p, 1)
+			defer a.Destroy(0)
+			va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+			a.Touch(0, va, pt.AccessWrite) // materialize the path
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := a.Lock(0, va, va+arch.PageSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkPageFault measures one anonymous fault end to end (map +
+// unmap-to-reset amortized out by cycling through a large region).
+func BenchmarkPageFault(b *testing.B) {
+	for _, p := range protocols {
+		b.Run(p.String(), func(b *testing.B) {
+			a, _ := benchSpace(b, p, 1)
+			defer a.Destroy(0)
+			const window = 1 << 14 // pages
+			va, err := a.Mmap(0, window*arch.PageSize, arch.PermRW, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page := va + arch.Vaddr(i%window)*arch.PageSize
+				if i%window == 0 && i > 0 {
+					b.StopTimer()
+					a.MadviseDontNeed(0, va, window*arch.PageSize)
+					b.StartTimer()
+				}
+				if err := a.Touch(0, page, pt.AccessWrite); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTouchTLBHit measures the simulated access fast path.
+func BenchmarkTouchTLBHit(b *testing.B) {
+	a, _ := benchSpace(b, ProtocolAdv, 1)
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+	a.Touch(0, va, pt.AccessWrite)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Touch(0, va, pt.AccessRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelFaults measures disjoint-region fault throughput on
+// all cores — the scalability the paper's Figure 14 PF plots.
+func BenchmarkParallelFaults(b *testing.B) {
+	for _, p := range protocols {
+		b.Run(p.String(), func(b *testing.B) {
+			a, m := benchSpace(b, p, 8)
+			defer a.Destroy(0)
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				core := int(next.Add(1)-1) % m.Cores
+				va, err := a.Mmap(core, 1<<20, arch.PermRW, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				i := 0
+				for pb.Next() {
+					page := va + arch.Vaddr(i%256)*arch.PageSize
+					if i%256 == 0 && i > 0 {
+						a.MadviseDontNeed(core, va, 256*arch.PageSize)
+					}
+					if err := a.Touch(core, page, pt.AccessWrite); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFork measures whole-address-space enumeration (the paper's
+// worst case) at two working-set sizes.
+func BenchmarkFork(b *testing.B) {
+	for _, pages := range []int{64, 1024} {
+		b.Run(map[int]string{64: "small", 1024: "large"}[pages], func(b *testing.B) {
+			a, _ := benchSpace(b, ProtocolAdv, 2)
+			defer a.Destroy(0)
+			va, _ := a.Mmap(0, uint64(pages)*arch.PageSize, arch.PermRW, 0)
+			for i := 0; i < pages; i++ {
+				a.Touch(0, va+arch.Vaddr(i*arch.PageSize), pt.AccessWrite)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				child, err := a.Fork(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				child.Destroy(1)
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+)
+
+// Error aliases so callers can match on the shared mm errors.
+var (
+	errBadRange = mm.ErrBadRange
+	errSegv     = mm.ErrSegv
+)
+
+// Query returns the status of the virtual page at va (Figure 4): Mapped
+// for a present PTE, the recorded metadata status for virtually
+// allocated pages, Invalid otherwise.
+func (c *RCursor) Query(va arch.Vaddr) (pt.Status, error) {
+	if err := c.checkRange(va, va+arch.PageSize); err != nil {
+		return pt.Status{}, err
+	}
+	t, isa := c.a.tree, c.a.isa
+	pfn, level, base := c.root, c.rootLevel, c.rootBase
+	for {
+		span := arch.SpanBytes(level)
+		idx := int(uint64(va-base) / span)
+		entryLo := base + arch.Vaddr(uint64(idx)*span)
+		pte := t.LoadPTE(pfn, idx)
+		if isa.IsPresent(pte) {
+			if isa.IsLeaf(pte, level) {
+				pageIn := uint64(va-entryLo) / arch.PageSize
+				return pt.Status{
+					Kind: pt.StatusMapped,
+					Perm: isa.PermOf(pte),
+					Page: isa.PFNOf(pte) + arch.PFN(pageIn),
+					Key:  isa.ProtKeyOf(pte),
+				}, nil
+			}
+			pfn, level, base = isa.PFNOf(pte), level-1, entryLo
+			continue
+		}
+		if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
+			return s.SlidBy(uint64(va-entryLo) / arch.PageSize), nil
+		}
+		return pt.Status{}, nil
+	}
+}
+
+// AnyAllocated reports whether anything (mapped or virtually allocated)
+// exists in [lo, hi) — the existence check mmap performs (Figure 8 L5).
+func (c *RCursor) AnyAllocated(lo, hi arch.Vaddr) (bool, error) {
+	if err := c.checkRange(lo, hi); err != nil {
+		return false, err
+	}
+	return c.anyIn(c.root, c.rootLevel, c.rootBase, lo, hi), nil
+}
+
+func (c *RCursor) anyIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr) bool {
+	t, isa := c.a.tree, c.a.isa
+	span := arch.SpanBytes(level)
+	start := int(uint64(lo-base) / span)
+	end := int(uint64(hi-1-base) / span)
+	for idx := start; idx <= end; idx++ {
+		entryLo := base + arch.Vaddr(uint64(idx)*span)
+		pte := t.LoadPTE(pfn, idx)
+		if isa.IsPresent(pte) {
+			if isa.IsLeaf(pte, level) {
+				return true
+			}
+			subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryLo+arch.Vaddr(span))
+			if c.anyIn(isa.PFNOf(pte), level-1, entryLo, subLo, subHi) {
+				return true
+			}
+			continue
+		}
+		if t.GetMeta(pfn, idx).Kind != pt.StatusInvalid {
+			return true
+		}
+	}
+	return false
+}
+
+// Map maps the physical frame at va with the given permission (Figure
+// 4). level 1 maps a 4-KiB page; levels 2 and 3 map huge pages whose
+// frame must be a naturally aligned block of matching order. The
+// caller's frame reference is transferred to the mapping. An existing
+// mapping at va is replaced (the COW-break path relies on this).
+func (c *RCursor) Map(va arch.Vaddr, frame arch.PFN, level int, perm arch.Perm) error {
+	return c.mapKeyed(va, frame, level, perm, 0)
+}
+
+// MapKeyed is Map with an MPK protection key tag.
+func (c *RCursor) MapKeyed(va arch.Vaddr, frame arch.PFN, level int, perm arch.Perm, key arch.ProtKey) error {
+	return c.mapKeyed(va, frame, level, perm, key)
+}
+
+func (c *RCursor) mapKeyed(va arch.Vaddr, frame arch.PFN, level int, perm arch.Perm, key arch.ProtKey) error {
+	span := arch.SpanBytes(level)
+	if uint64(va)%span != 0 {
+		return fmt.Errorf("%w: map at %#x not aligned to level-%d span", errBadRange, va, level)
+	}
+	if err := c.checkRange(va, va+arch.Vaddr(span)); err != nil {
+		return err
+	}
+	if level > 1 && !c.a.isa.SupportsHugeAt(level) {
+		return fmt.Errorf("%w: level-%d leaves unsupported on %s", mm.ErrNotSupported, level, c.a.isa.Name())
+	}
+	if level > c.rootLevel {
+		// Writing a level-L entry requires the page containing it to be
+		// inside the locked subtree; the caller must use LockLevel.
+		return fmt.Errorf("%w: level-%d map needs a cursor locked at level >= %d (have %d)",
+			errBadRange, level, level, c.rootLevel)
+	}
+	t, isa := c.a.tree, c.a.isa
+	pfn, curLevel, base := c.root, c.rootLevel, c.rootBase
+	for curLevel > level {
+		spanHere := arch.SpanBytes(curLevel)
+		idx := int(uint64(va-base) / spanHere)
+		entryLo := base + arch.Vaddr(uint64(idx)*spanHere)
+		child, err := c.ensureChild(pfn, curLevel, idx, entryLo)
+		if err != nil {
+			return err
+		}
+		pfn, curLevel, base = child, curLevel-1, entryLo
+	}
+	idx := int(uint64(va-base) / span)
+	old := t.LoadPTE(pfn, idx)
+	if isa.IsPresent(old) {
+		if !isa.IsLeaf(old, level) {
+			// A finer-grained subtree sits here; clear it first.
+			c.unmapIn(pfn, level, base, va, va+arch.Vaddr(span))
+		} else {
+			c.releaseLeaf(old, level, va)
+		}
+	}
+	leaf := isa.EncodeLeaf(frame, perm, level)
+	if key != 0 {
+		leaf = isa.WithProtKey(leaf, key)
+	}
+	t.SetPTE(pfn, idx, leaf)
+	t.SetMeta(pfn, idx, pt.Status{})
+	head := c.a.m.Phys.HeadOf(frame)
+	c.a.m.Phys.Desc(head).MapCount.Add(1)
+	return nil
+}
+
+// Mark records status for every page in [lo, hi) (Figure 4), replacing
+// whatever was there — existing mappings are unmapped first. Large
+// aligned spans are stored at upper-level entries, so marking a 1-GiB
+// region costs O(1) entries, not 256 Ki of them (§3.3's optimization).
+func (c *RCursor) Mark(lo, hi arch.Vaddr, s pt.Status) error {
+	if err := c.checkRange(lo, hi); err != nil {
+		return err
+	}
+	if s.Kind == pt.StatusMapped {
+		return fmt.Errorf("%w: cannot Mark Mapped; use Map", errBadRange)
+	}
+	return c.markIn(c.root, c.rootLevel, c.rootBase, lo, hi, s, lo)
+}
+
+func (c *RCursor) markIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr, s pt.Status, sBase arch.Vaddr) error {
+	t, isa := c.a.tree, c.a.isa
+	span := arch.SpanBytes(level)
+	start := int(uint64(lo-base) / span)
+	end := int(uint64(hi-1-base) / span)
+	for idx := start; idx <= end; idx++ {
+		entryLo := base + arch.Vaddr(uint64(idx)*span)
+		entryHi := entryLo + arch.Vaddr(span)
+		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
+		full := subLo == entryLo && subHi == entryHi
+		if full {
+			pte := t.LoadPTE(pfn, idx)
+			if isa.IsPresent(pte) {
+				if isa.IsLeaf(pte, level) {
+					c.releaseLeaf(pte, level, entryLo)
+					t.SetPTE(pfn, idx, 0)
+				} else {
+					child := isa.PFNOf(pte)
+					c.unmapIn(child, level-1, entryLo, entryLo, entryHi)
+					c.removeChild(pfn, idx, child)
+				}
+			}
+			c.dropMeta(pfn, idx)
+			ns := s
+			if s.Kind != pt.StatusInvalid {
+				ns = s.SlidBy(uint64(entryLo-sBase) / arch.PageSize)
+				t.SetMeta(pfn, idx, ns)
+			}
+			continue
+		}
+		if level == 1 {
+			panic("core: partial entry at level 1")
+		}
+		pte := t.LoadPTE(pfn, idx)
+		if !isa.IsPresent(pte) && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid && s.Kind == pt.StatusInvalid {
+			continue // nothing to clear, nothing to set
+		}
+		child, err := c.ensureChild(pfn, level, idx, entryLo)
+		if err != nil {
+			return err
+		}
+		if err := c.markIn(child, level-1, entryLo, subLo, subHi, s, sBase); err != nil {
+			return err
+		}
+		if t.Empty(child) {
+			c.removeChild(pfn, idx, child)
+		}
+	}
+	return nil
+}
+
+// Unmap removes every mapping and status in [lo, hi) (Figure 4),
+// freeing page-table pages that become empty — under CortenMM_adv via
+// the stale-mark + RCU-monitor path of Figure 6.
+func (c *RCursor) Unmap(lo, hi arch.Vaddr) error {
+	if err := c.checkRange(lo, hi); err != nil {
+		return err
+	}
+	c.unmapIn(c.root, c.rootLevel, c.rootBase, lo, hi)
+	return nil
+}
+
+func (c *RCursor) unmapIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr) {
+	t, isa := c.a.tree, c.a.isa
+	span := arch.SpanBytes(level)
+	start := int(uint64(lo-base) / span)
+	end := int(uint64(hi-1-base) / span)
+	for idx := start; idx <= end; idx++ {
+		entryLo := base + arch.Vaddr(uint64(idx)*span)
+		entryHi := entryLo + arch.Vaddr(span)
+		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
+		full := subLo == entryLo && subHi == entryHi
+		pte := t.LoadPTE(pfn, idx)
+		present := isa.IsPresent(pte)
+		if full {
+			if present {
+				if isa.IsLeaf(pte, level) {
+					c.releaseLeaf(pte, level, entryLo)
+					t.SetPTE(pfn, idx, 0)
+				} else {
+					child := isa.PFNOf(pte)
+					c.unmapIn(child, level-1, entryLo, entryLo, entryHi)
+					c.removeChild(pfn, idx, child)
+				}
+			}
+			c.dropMeta(pfn, idx)
+			continue
+		}
+		if !present && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid {
+			continue
+		}
+		child, err := c.ensureChild(pfn, level, idx, entryLo)
+		if err != nil {
+			// Allocation failure while splitting: leave the remainder
+			// mapped; unmap is not obliged to split huge spans it
+			// cannot afford to. (Only reachable under extreme OOM.)
+			continue
+		}
+		c.unmapIn(child, level-1, entryLo, subLo, subHi)
+		if t.Empty(child) {
+			c.removeChild(pfn, idx, child)
+		}
+	}
+}
+
+// Protect changes the permission of every page in [lo, hi) (the mark
+// variant mprotect uses). Mapped pages get new hardware permissions with
+// COW preserved per the §4.3 rules; virtually allocated spans get their
+// recorded permission replaced.
+func (c *RCursor) Protect(lo, hi arch.Vaddr, perm arch.Perm) error {
+	if err := c.checkRange(lo, hi); err != nil {
+		return err
+	}
+	c.needSync = true // tightening must be visible before return
+	return c.protectIn(c.root, c.rootLevel, c.rootBase, lo, hi, perm)
+}
+
+func (c *RCursor) protectIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr, perm arch.Perm) error {
+	t, isa := c.a.tree, c.a.isa
+	span := arch.SpanBytes(level)
+	start := int(uint64(lo-base) / span)
+	end := int(uint64(hi-1-base) / span)
+	for idx := start; idx <= end; idx++ {
+		entryLo := base + arch.Vaddr(uint64(idx)*span)
+		entryHi := entryLo + arch.Vaddr(span)
+		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
+		full := subLo == entryLo && subHi == entryHi
+		pte := t.LoadPTE(pfn, idx)
+		present := isa.IsPresent(pte)
+		if full {
+			if present {
+				if isa.IsLeaf(pte, level) {
+					t.StorePTE(pfn, idx, c.protectPTE(pte, level, perm))
+					c.noteFlush(entryLo, level)
+				} else {
+					if err := c.protectIn(isa.PFNOf(pte), level-1, entryLo, entryLo, entryHi, perm); err != nil {
+						return err
+					}
+				}
+			}
+			if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
+				s.Perm = perm
+				t.SetMeta(pfn, idx, s)
+			}
+			continue
+		}
+		if !present && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid {
+			continue
+		}
+		child, err := c.ensureChild(pfn, level, idx, entryLo)
+		if err != nil {
+			return err
+		}
+		if err := c.protectIn(child, level-1, entryLo, subLo, subHi, perm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protectPTE computes the new PTE for a permission change, applying the
+// COW rules of §4.3: shared mappings take the permission directly;
+// private writable pages stay (or become) COW when the frame is shared
+// or file-backed.
+func (c *RCursor) protectPTE(pte uint64, level int, perm arch.Perm) uint64 {
+	isa := c.a.isa
+	old := isa.PermOf(pte)
+	if old&arch.PermShared != 0 {
+		return isa.WithPerm(pte, perm|arch.PermShared, level)
+	}
+	p := perm &^ (arch.PermCOW | arch.PermShared)
+	if perm&arch.PermWrite != 0 {
+		head := c.a.m.Phys.HeadOf(isa.PFNOf(pte))
+		d := c.a.m.Phys.Desc(head)
+		if d.MapCount.Load() > 1 || d.Kind == mem.KindFile {
+			p = p&^arch.PermWrite | arch.PermCOW
+		}
+	}
+	return isa.WithPerm(pte, p, level)
+}
+
+// SetProtKey tags every page in [lo, hi) — mapped or virtually
+// allocated — with an MPK protection key (§6.7's Intel MPK feature).
+// ISAs without MPK leave PTEs unchanged but still record the key in
+// metadata so it applies when pages are faulted in.
+func (c *RCursor) SetProtKey(lo, hi arch.Vaddr, key arch.ProtKey) error {
+	if err := c.checkRange(lo, hi); err != nil {
+		return err
+	}
+	if key > arch.MaxProtKey {
+		return fmt.Errorf("%w: protection key %d", errBadRange, key)
+	}
+	c.needSync = true
+	return c.keyIn(c.root, c.rootLevel, c.rootBase, lo, hi, key)
+}
+
+func (c *RCursor) keyIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr, key arch.ProtKey) error {
+	t, isa := c.a.tree, c.a.isa
+	span := arch.SpanBytes(level)
+	start := int(uint64(lo-base) / span)
+	end := int(uint64(hi-1-base) / span)
+	for idx := start; idx <= end; idx++ {
+		entryLo := base + arch.Vaddr(uint64(idx)*span)
+		entryHi := entryLo + arch.Vaddr(span)
+		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
+		full := subLo == entryLo && subHi == entryHi
+		pte := t.LoadPTE(pfn, idx)
+		present := isa.IsPresent(pte)
+		if full {
+			if present {
+				if isa.IsLeaf(pte, level) {
+					t.StorePTE(pfn, idx, isa.WithProtKey(pte, key))
+					c.noteFlush(entryLo, level)
+				} else if err := c.keyIn(isa.PFNOf(pte), level-1, entryLo, entryLo, entryHi, key); err != nil {
+					return err
+				}
+			}
+			if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
+				s.Key = key
+				t.SetMeta(pfn, idx, s)
+			}
+			continue
+		}
+		if !present && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid {
+			continue
+		}
+		child, err := c.ensureChild(pfn, level, idx, entryLo)
+		if err != nil {
+			return err
+		}
+		if err := c.keyIn(child, level-1, entryLo, subLo, subHi, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureChild returns the child PT page under (pfn, idx), creating it if
+// absent. A huge leaf in the way is split into level-1 leaves, and an
+// upper-level status is pushed down into the child's metadata array —
+// the two split operations that keep upper-level compression honest.
+func (c *RCursor) ensureChild(pfn arch.PFN, level, idx int, entryLo arch.Vaddr) (arch.PFN, error) {
+	t, isa := c.a.tree, c.a.isa
+	pte := t.LoadPTE(pfn, idx)
+	if isa.IsPresent(pte) && !isa.IsLeaf(pte, level) {
+		return isa.PFNOf(pte), nil
+	}
+	child, err := t.AllocPTPage(c.core, level-1)
+	if err != nil {
+		return 0, err
+	}
+	if c.a.proto == ProtocolAdv {
+		c.a.state(child).Mu.Lock()
+		c.trackLocked(child)
+	}
+	subPages := arch.SpanBytes(level-1) / arch.PageSize
+	if isa.IsPresent(pte) {
+		// Split a huge leaf: 512 leaves one level down over the same
+		// frames. Each new leaf takes its own reference and mapcount on
+		// the block head; translations stay valid so no flush is needed.
+		perm := isa.PermOf(pte)
+		key := isa.ProtKeyOf(pte)
+		basePFN := isa.PFNOf(pte)
+		for i := 0; i < arch.PTEntries; i++ {
+			leaf := isa.EncodeLeaf(basePFN+arch.PFN(uint64(i)*subPages), perm, level-1)
+			if key != 0 {
+				leaf = isa.WithProtKey(leaf, key)
+			}
+			t.SetPTE(child, i, leaf)
+		}
+		head := c.a.m.Phys.HeadOf(basePFN)
+		c.a.m.Phys.GetN(head, arch.PTEntries-1)
+		c.a.m.Phys.Desc(head).MapCount.Add(arch.PTEntries - 1)
+	} else if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
+		for i := 0; i < arch.PTEntries; i++ {
+			t.SetMeta(child, i, s.SlidBy(uint64(i)*subPages))
+		}
+		t.SetMeta(pfn, idx, pt.Status{})
+	}
+	t.SetPTE(pfn, idx, isa.EncodeTable(child))
+	return child, nil
+}
+
+// releaseLeaf tears down one present leaf entry: mapcount and reference
+// drop on the frame head (the actual free is deferred until after the
+// TLB shootdown) and the translation is queued for invalidation.
+func (c *RCursor) releaseLeaf(pte uint64, level int, va arch.Vaddr) {
+	head := c.a.m.Phys.HeadOf(c.a.isa.PFNOf(pte))
+	c.a.m.Phys.Desc(head).MapCount.Add(-1)
+	c.freed = append(c.freed, head)
+	c.noteFlush(va, level)
+}
+
+// noteFlush queues a TLB invalidation for the leaf span at va.
+func (c *RCursor) noteFlush(va arch.Vaddr, level int) {
+	if level > 1 {
+		// Our TLBs cache 4-KiB translations, so a huge leaf may have
+		// populated many entries; flush the ASID wholesale.
+		c.flushAll = true
+		return
+	}
+	if !c.flushAll {
+		c.flush = append(c.flush, va)
+	}
+}
+
+// removeChild unlinks an (empty) child PT page from its parent and frees
+// it according to the protocol: immediately under CortenMM_rw (no
+// lockless readers exist), via stale-marking plus the RCU monitor under
+// CortenMM_adv (Figure 6, L29-L34).
+func (c *RCursor) removeChild(parent arch.PFN, idx int, child arch.PFN) {
+	a := c.a
+	a.tree.SetPTE(parent, idx, 0)
+	if a.proto != ProtocolAdv {
+		a.tree.ReleasePTPage(c.core, child)
+		return
+	}
+	st := a.state(child)
+	st.Stale.Store(true)
+	c.untrackLocked(child)
+	st.Mu.Unlock()
+	core := c.core
+	a.m.RCU.Defer(func() { a.tree.ReleasePTPage(core, child) })
+}
+
+// dropMeta clears the metadata entry, releasing any swap block it holds.
+func (c *RCursor) dropMeta(pfn arch.PFN, idx int) {
+	s := c.a.tree.GetMeta(pfn, idx)
+	if s.Kind == pt.StatusInvalid {
+		return
+	}
+	if s.Kind == pt.StatusSwapped && s.Dev != nil {
+		s.Dev.FreeBlock(s.Block)
+	}
+	c.a.tree.SetMeta(pfn, idx, pt.Status{})
+}
+
+func maxVA(a, b arch.Vaddr) arch.Vaddr {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minVA(a, b arch.Vaddr) arch.Vaddr {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/tlb"
+)
+
+// RCursor is the handle returned by AddrSpace.Lock (Figure 4): it owns
+// the covering PT page (and, under CortenMM_adv, every descendant) and
+// exposes the basic operations that are applied atomically within the
+// locked range. Closing the cursor releases the locks in reverse
+// acquisition order and performs the deferred TLB shootdowns and frame
+// frees the operations accumulated.
+type RCursor struct {
+	a    *AddrSpace
+	core int
+	lo   arch.Vaddr
+	hi   arch.Vaddr
+
+	root      arch.PFN   // the covering PT page
+	rootLevel int        // its level
+	rootBase  arch.Vaddr // base VA of its span
+	minLevel  int        // do not descend below this level (default 1)
+
+	// readPath holds the read-locked ancestors (CortenMM_rw only),
+	// outermost first.
+	readPath []arch.PFN
+	// locked holds MCS-locked pages in acquisition (preorder) order
+	// (CortenMM_adv only). Pages freed mid-transaction are replaced by
+	// the NoPFN sentinel.
+	locked []arch.PFN
+
+	// Deferred side effects, applied at Close.
+	flush    []arch.Vaddr // 4-KiB pages whose translations must die
+	flushAll bool         // flush the whole ASID instead
+	needSync bool         // permission tightening: must not be lazy
+	freed    []arch.PFN   // frame heads to release after the shootdown
+
+	closed bool
+	cached bool // lives in the per-core cursor cache
+
+	// Inline backing arrays keep the common small transactions (a page
+	// fault locks one PT page, unmaps touch a handful) allocation-free.
+	readPathArr [arch.Levels]arch.PFN
+	lockedArr   [8]arch.PFN
+	flushArr    [8]arch.Vaddr
+	freedArr    [8]arch.PFN
+}
+
+// reset prepares a (possibly recycled) cursor for a new transaction,
+// retaining any grown slice capacity from earlier use.
+func (c *RCursor) reset(a *AddrSpace, core int, lo, hi arch.Vaddr, cached bool) {
+	c.a, c.core, c.lo, c.hi = a, core, lo, hi
+	c.root, c.rootLevel, c.rootBase = 0, 0, 0
+	if c.readPath == nil {
+		c.readPath = c.readPathArr[:0]
+		c.locked = c.lockedArr[:0]
+		c.flush = c.flushArr[:0]
+		c.freed = c.freedArr[:0]
+	} else {
+		c.readPath = c.readPath[:0]
+		c.locked = c.locked[:0]
+		c.flush = c.flush[:0]
+		c.freed = c.freed[:0]
+	}
+	c.flushAll, c.needSync, c.closed, c.cached = false, false, false, cached
+}
+
+// Lock begins a transaction over [lo, hi): it runs the configured
+// locking protocol and returns a cursor whose operations execute
+// atomically with respect to every other transaction touching an
+// overlapping range (§3.3). Transactions on disjoint ranges proceed in
+// parallel.
+func (a *AddrSpace) Lock(core int, lo, hi arch.Vaddr) (*RCursor, error) {
+	return a.LockLevel(core, lo, hi, 1)
+}
+
+// LockLevel is Lock with a floor on the covering PT page's level:
+// descent stops at minLevel even when a deeper page would cover the
+// range. Operations that rewrite an entry at level L (e.g. installing a
+// level-L huge leaf over an existing subtree) need the page containing
+// that entry locked, i.e. minLevel = L. A coarser covering page is
+// always safe — it only widens the exclusive region.
+func (a *AddrSpace) LockLevel(core int, lo, hi arch.Vaddr, minLevel int) (*RCursor, error) {
+	if lo >= hi || !arch.IsPageAligned(lo) || !arch.IsPageAligned(hi) || hi > arch.MaxVaddr {
+		return nil, fmt.Errorf("%w: [%#x, %#x)", errBadRange, lo, hi)
+	}
+	if minLevel < 1 || minLevel > arch.Levels {
+		return nil, fmt.Errorf("%w: min level %d", errBadRange, minLevel)
+	}
+	// One transaction per core at a time is the common case (the
+	// simulated kernel disables preemption during MM operations), so a
+	// per-core cursor cache avoids an allocation per transaction. The
+	// rare concurrent user of the same core ID (e.g. a reverse-mapping
+	// walk) falls back to a fresh cursor.
+	var c *RCursor
+	cached := false
+	if cc := &a.cursors[core]; cc.busy.CompareAndSwap(false, true) {
+		c = &cc.c
+		cached = true
+	} else {
+		c = new(RCursor)
+	}
+	c.reset(a, core, lo, hi, cached)
+	c.minLevel = minLevel
+	if a.proto == ProtocolRW {
+		a.lockRW(c)
+	} else {
+		a.lockAdv(c)
+	}
+	return c, nil
+}
+
+// coversInOneChild reports whether [lo,hi) falls inside a single entry
+// of a PT page at the given level — i.e. a child PT page could cover it
+// — and descending would not violate the cursor's level floor.
+func coversInOneChild(lo, hi arch.Vaddr, level, minLevel int) bool {
+	return level > minLevel && arch.IndexAt(lo, level) == arch.IndexAt(hi-1, level)
+}
+
+// baseOfSpan returns the base VA of the PT page at the given level that
+// contains va.
+func baseOfSpan(va arch.Vaddr, level int) arch.Vaddr {
+	if level >= arch.Levels {
+		return 0
+	}
+	return va &^ arch.Vaddr(arch.SpanBytes(level+1)-1)
+}
+
+// lockRW is the CortenMM_rw protocol (Figure 5): walk from the root
+// taking reader locks while a single child could cover the range; the
+// first page where that stops is the covering PT page, which is locked
+// for writing. If the walk stops because the child does not exist yet,
+// the reader lock on the current page is released before upgrading —
+// the benign exception discussed in §4.1.
+func (a *AddrSpace) lockRW(c *RCursor) {
+	cur := a.tree.Root
+	level := arch.Levels
+	for !a.coarse && coversInOneChild(c.lo, c.hi, level, c.minLevel) {
+		st := a.state(cur)
+		st.RW.RLock(c.core)
+		c.readPath = append(c.readPath, cur)
+		pte := a.tree.LoadPTE(cur, arch.IndexAt(c.lo, level))
+		if !a.isa.IsPresent(pte) || a.isa.IsLeaf(pte, level) {
+			break
+		}
+		cur = a.isa.PFNOf(pte)
+		level--
+	}
+	// If the loop ended with cur itself read-locked (missing child or a
+	// huge leaf in the way), release that lock before write-locking.
+	if n := len(c.readPath); n > 0 && c.readPath[n-1] == cur {
+		a.state(cur).RW.RUnlock(c.core)
+		c.readPath = c.readPath[:n-1]
+	}
+	a.state(cur).RW.Lock(c.core)
+	c.root = cur
+	c.rootLevel = level
+	c.rootBase = baseOfSpan(c.lo, level)
+}
+
+// lockAdv is the CortenMM_adv protocol (Figure 6): a lockless traversal
+// inside an RCU read-side critical section finds the covering PT page;
+// it is MCS-locked and re-checked for staleness (retrying if a
+// concurrent unmap removed it, Figure 7); then a preorder DFS locks all
+// its descendants.
+func (a *AddrSpace) lockAdv(c *RCursor) {
+	for {
+		a.m.RCU.ReadLock(c.core)
+		cur := a.tree.Root
+		level := arch.Levels
+		for !a.coarse && coversInOneChild(c.lo, c.hi, level, c.minLevel) {
+			pte := a.tree.LoadPTE(cur, arch.IndexAt(c.lo, level))
+			if !a.isa.IsPresent(pte) || a.isa.IsLeaf(pte, level) {
+				break
+			}
+			cur = a.isa.PFNOf(pte)
+			level--
+		}
+		st := a.state(cur)
+		st.Mu.Lock()
+		if st.Stale.Load() {
+			// Raced with an unmap that removed this PT page: retry from
+			// the root (Figure 7).
+			st.Mu.Unlock()
+			a.m.RCU.ReadUnlock(c.core)
+			continue
+		}
+		a.m.RCU.ReadUnlock(c.core)
+		c.trackLocked(cur)
+		c.root = cur
+		c.rootLevel = level
+		c.rootBase = baseOfSpan(c.lo, level)
+		break
+	}
+	// Locking phase: preorder DFS over all descendant PT pages. The
+	// covering page's lock already excludes writers, but a lockless
+	// traverser may have bypassed the covering page before we locked it,
+	// so every descendant must be locked too (§4.1).
+	a.dfsLock(c, c.root, c.rootLevel)
+}
+
+func (a *AddrSpace) dfsLock(c *RCursor, pfn arch.PFN, level int) {
+	if level == 1 {
+		return
+	}
+	for i := 0; i < arch.PTEntries; i++ {
+		pte := a.tree.LoadPTE(pfn, i)
+		if !a.isa.IsPresent(pte) || a.isa.IsLeaf(pte, level) {
+			continue
+		}
+		child := a.isa.PFNOf(pte)
+		a.state(child).Mu.Lock()
+		c.trackLocked(child)
+		a.dfsLock(c, child, level-1)
+	}
+}
+
+// trackLocked records an MCS-locked page in acquisition order.
+func (c *RCursor) trackLocked(pfn arch.PFN) {
+	c.locked = append(c.locked, pfn)
+}
+
+// untrackLocked removes a page from the locked set (it is about to be
+// unlocked mid-transaction because it is being freed). Transactions are
+// small in the common case, so a backwards linear scan beats a map —
+// removals also tend to hit recently locked pages.
+func (c *RCursor) untrackLocked(pfn arch.PFN) {
+	for i := len(c.locked) - 1; i >= 0; i-- {
+		if c.locked[i] == pfn {
+			c.locked[i] = arch.NoPFN
+			return
+		}
+	}
+}
+
+// Close ends the transaction: locks are released in reverse acquisition
+// order (the Drop of Figure 4), then the accumulated TLB shootdowns and
+// frame releases are performed. Closing twice is a no-op.
+func (c *RCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	a := c.a
+	if a.proto == ProtocolRW {
+		a.state(c.root).RW.Unlock(c.core)
+		for i := len(c.readPath) - 1; i >= 0; i-- {
+			a.state(c.readPath[i]).RW.RUnlock(c.core)
+		}
+	} else {
+		for i := len(c.locked) - 1; i >= 0; i-- {
+			if pfn := c.locked[i]; pfn != arch.NoPFN {
+				a.state(pfn).Mu.Unlock()
+			}
+		}
+	}
+	c.shootAndFree()
+	if c.cached {
+		// Drop oversized scratch space before recycling the cursor.
+		if cap(c.locked) > 1024 {
+			c.locked = nil
+			c.readPath = nil
+			c.flush = nil
+			c.freed = nil
+		}
+		a.cursors[c.core].busy.Store(false)
+	}
+}
+
+// shootAndFree performs the deferred TLB invalidations and then drops
+// the references of unmapped frames. Under lazy shootdown modes the
+// frames go through the RCU monitor so they cannot be reused while a
+// core might still hold a stale translation.
+func (c *RCursor) shootAndFree() {
+	a := c.a
+	lazyTLB := a.m.TLB.Mode() != tlb.ModeSync
+	switch {
+	case c.flushAll:
+		if c.needSync {
+			a.m.TLB.ShootdownAllSync(c.core, a.asid)
+		} else {
+			a.m.TLB.ShootdownAll(c.core, a.asid)
+		}
+	case len(c.flush) > 0:
+		if c.needSync {
+			a.m.TLB.ShootdownSync(c.core, a.asid, c.flush)
+		} else if len(c.flush) > 32 {
+			// Like Linux, a large batch flushes the whole ASID.
+			a.m.TLB.ShootdownAll(c.core, a.asid)
+		} else {
+			a.m.TLB.Shootdown(c.core, a.asid, c.flush)
+		}
+	}
+	if len(c.freed) == 0 {
+		return
+	}
+	core := c.core
+	if lazyTLB && !c.needSync {
+		// The cursor may be recycled before the grace period ends, so
+		// the deferred free needs its own copy of the list.
+		freed := append([]arch.PFN(nil), c.freed...)
+		a.m.RCU.Defer(func() {
+			for _, pfn := range freed {
+				a.m.Phys.Put(core, pfn)
+			}
+		})
+		return
+	}
+	for _, pfn := range c.freed {
+		a.m.Phys.Put(core, pfn)
+	}
+}
+
+// Range returns the locked range.
+func (c *RCursor) Range() (lo, hi arch.Vaddr) { return c.lo, c.hi }
+
+// checkRange validates that [lo,hi) lies inside the transaction.
+func (c *RCursor) checkRange(lo, hi arch.Vaddr) error {
+	if lo < c.lo || hi > c.hi || lo >= hi {
+		return fmt.Errorf("%w: op [%#x,%#x) outside cursor [%#x,%#x)", errBadRange, lo, hi, c.lo, c.hi)
+	}
+	return nil
+}

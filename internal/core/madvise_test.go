@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+)
+
+var _ mm.Madviser = (*AddrSpace)(nil)
+var _ mm.Swapper = (*AddrSpace)(nil)
+
+func TestMadviseDontNeedAnon(t *testing.T) {
+	for _, p := range protocols {
+		t.Run(p.String(), func(t *testing.T) {
+			a, m := newSpace(t, p)
+			defer a.Destroy(0)
+			va, _ := a.Mmap(0, 8*arch.PageSize, arch.PermRW, 0)
+			for i := 0; i < 8; i++ {
+				a.Store(0, va+arch.Vaddr(i*arch.PageSize), byte(0x10+i))
+			}
+			if got := m.Phys.KindFrames(mem.KindAnon); got != 8 {
+				t.Fatalf("resident = %d", got)
+			}
+			if err := a.MadviseDontNeed(0, va, 8*arch.PageSize); err != nil {
+				t.Fatal(err)
+			}
+			m.Quiesce()
+			if got := m.Phys.KindFrames(mem.KindAnon); got != 0 {
+				t.Errorf("resident after DONTNEED = %d", got)
+			}
+			// The mapping survives: access faults in fresh zeroed pages.
+			b, err := a.Load(0, va)
+			if err != nil || b != 0 {
+				t.Fatalf("post-DONTNEED read = %d, %v (want fresh zero page)", b, err)
+			}
+			if err := a.Store(0, va+7*arch.PageSize, 1); err != nil {
+				t.Errorf("write after DONTNEED: %v", err)
+			}
+			checkWF(t, a)
+		})
+	}
+}
+
+func TestMadviseDontNeedKeepsPerms(t *testing.T) {
+	a, _ := newSpace(t, ProtocolAdv)
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRead, 0)
+	a.Touch(0, va, pt.AccessRead)
+	if err := a.MadviseDontNeed(0, va, arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Touch(0, va, pt.AccessWrite); err == nil {
+		t.Error("RO mapping became writable after DONTNEED")
+	}
+	if err := a.Touch(0, va, pt.AccessRead); err != nil {
+		t.Errorf("read after DONTNEED: %v", err)
+	}
+}
+
+func TestMadviseDontNeedFileBacked(t *testing.T) {
+	a, m := newSpace(t, ProtocolRW)
+	defer a.Destroy(0)
+	f := mem.NewFile(m.Phys, "lib", 4*arch.PageSize)
+	// Populate file page 1 via a shared mapping.
+	sh, _ := a.MmapFile(0, f, 0, 4*arch.PageSize, arch.PermRW, true)
+	a.Store(0, sh+arch.PageSize+3, 0x5E)
+	// Private mapping reads, then drops its pages.
+	pr, _ := a.MmapFile(0, f, 0, 4*arch.PageSize, arch.PermRead, false)
+	b, _ := a.Load(0, pr+arch.PageSize+3)
+	if b != 0x5E {
+		t.Fatalf("pre-DONTNEED read = %#x", b)
+	}
+	if err := a.MadviseDontNeed(0, pr, 4*arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Re-access must re-fault from the file (content preserved there).
+	b, err := a.Load(0, pr+arch.PageSize+3)
+	if err != nil || b != 0x5E {
+		t.Fatalf("post-DONTNEED file read = %#x, %v", b, err)
+	}
+	checkWF(t, a)
+}

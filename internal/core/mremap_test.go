@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+)
+
+func TestMremapGrowMovesData(t *testing.T) {
+	for _, p := range protocols {
+		t.Run(p.String(), func(t *testing.T) {
+			a, m := newSpace(t, p)
+			va, _ := a.Mmap(0, 8*arch.PageSize, arch.PermRW, 0)
+			for i := 0; i < 8; i++ {
+				a.Store(0, va+arch.Vaddr(i*arch.PageSize), byte(0x30+i))
+			}
+			frames := m.Phys.KindFrames(mem.KindAnon)
+			nva, err := a.Mremap(0, va, 8*arch.PageSize, 32*arch.PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nva == va {
+				t.Fatal("grow did not move")
+			}
+			// No data copy: same frame count.
+			if got := m.Phys.KindFrames(mem.KindAnon); got != frames {
+				t.Errorf("mremap copied frames: %d -> %d", frames, got)
+			}
+			for i := 0; i < 8; i++ {
+				b, err := a.Load(0, nva+arch.Vaddr(i*arch.PageSize))
+				if err != nil || b != byte(0x30+i) {
+					t.Fatalf("moved page %d = %#x, %v", i, b, err)
+				}
+			}
+			// The grown tail is usable on-demand memory.
+			if err := a.Store(0, nva+31*arch.PageSize, 1); err != nil {
+				t.Fatalf("grown tail: %v", err)
+			}
+			// The old range is gone.
+			if err := a.Touch(0, va, pt.AccessRead); !errors.Is(err, mm.ErrSegv) {
+				t.Errorf("old range alive after mremap: %v", err)
+			}
+			checkWF(t, a)
+			a.Destroy(0)
+			checkClean(t, m)
+		})
+	}
+}
+
+func TestMremapShrinkInPlace(t *testing.T) {
+	a, m := newSpace(t, ProtocolAdv)
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, 8*arch.PageSize, arch.PermRW, 0)
+	for i := 0; i < 8; i++ {
+		a.Store(0, va+arch.Vaddr(i*arch.PageSize), 1)
+	}
+	nva, err := a.Mremap(0, va, 8*arch.PageSize, 2*arch.PageSize)
+	if err != nil || nva != va {
+		t.Fatalf("shrink: %#x, %v", nva, err)
+	}
+	if got := m.Phys.KindFrames(mem.KindAnon); got != 2 {
+		t.Errorf("frames after shrink = %d, want 2", got)
+	}
+	if err := a.Touch(0, va+2*arch.PageSize, pt.AccessRead); !errors.Is(err, mm.ErrSegv) {
+		t.Errorf("shrunk tail alive: %v", err)
+	}
+}
+
+func TestMremapMovesVirtualAndSwapped(t *testing.T) {
+	m := newMachine()
+	dev := mem.NewBlockDev("swap")
+	a, _ := New(Options{Machine: m, Protocol: ProtocolAdv, SwapDev: dev})
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, 4*arch.PageSize, arch.PermRW, 0)
+	// Page 0: resident with data; page 1: swapped; pages 2-3: unfaulted.
+	a.Store(0, va, 0x11)
+	a.Store(0, va+arch.PageSize, 0x22)
+	if n, err := a.SwapOut(0, va+arch.PageSize, arch.PageSize); err != nil || n != 1 {
+		t.Fatalf("swapout: %d, %v", n, err)
+	}
+	nva, err := a.Mremap(0, va, 4*arch.PageSize, 16*arch.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.InUse() != 1 {
+		t.Errorf("swap blocks after move = %d (block lost or double-freed)", dev.InUse())
+	}
+	b0, _ := a.Load(0, nva)
+	b1, err1 := a.Load(0, nva+arch.PageSize) // swap-in at the NEW address
+	b2, err2 := a.Load(0, nva+2*arch.PageSize)
+	if b0 != 0x11 || err1 != nil || b1 != 0x22 || err2 != nil || b2 != 0 {
+		t.Fatalf("after move: %#x %#x(%v) %#x(%v)", b0, b1, err1, b2, err2)
+	}
+	if dev.InUse() != 0 {
+		t.Errorf("swap block leaked after swap-in: %d", dev.InUse())
+	}
+	checkWF(t, a)
+}
+
+func TestMremapPreservesCOW(t *testing.T) {
+	a, m := newSpace(t, ProtocolRW)
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+	a.Store(0, va, 7)
+	childMM, _ := a.Fork(0)
+	child := childMM.(*AddrSpace)
+	// Parent moves its mapping; the COW relationship must survive.
+	nva, err := a.Mremap(0, va, arch.PageSize, 4*arch.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store(0, nva, 8); err != nil { // COW break at the new address
+		t.Fatal(err)
+	}
+	cb, _ := child.Load(1, va)
+	pb, _ := a.Load(0, nva)
+	if cb != 7 || pb != 8 {
+		t.Errorf("child=%d parent=%d", cb, pb)
+	}
+	child.Destroy(1)
+	a.Destroy(0)
+	checkClean(t, m)
+}
+
+func TestMremapBadArgs(t *testing.T) {
+	a, _ := newSpace(t, ProtocolAdv)
+	defer a.Destroy(0)
+	if _, err := a.Mremap(0, 0x1001, arch.PageSize, arch.PageSize); !errors.Is(err, mm.ErrBadRange) {
+		t.Errorf("unaligned: %v", err)
+	}
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+	if _, err := a.Mremap(0, va, arch.PageSize, 0); !errors.Is(err, mm.ErrBadRange) {
+		t.Errorf("zero size: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+)
+
+// ReclaimRange runs one sweep of a clock-style reclaim scan over
+// [va, va+size): pages whose hardware accessed bit is set get a second
+// chance (the bit is cleared), pages found cold are swapped out, up to
+// target pages. It is the kswapd building block CortenMM's swapping
+// support enables (§4.3), and — like every MMU access — runs entirely
+// inside one transaction.
+//
+// Shared, COW and file-backed pages are skipped (reclaim for those goes
+// through the file reverse map instead; see mem.File.UnmapAll).
+func (a *AddrSpace) ReclaimRange(core int, va arch.Vaddr, size uint64, target int) (int, error) {
+	if a.swapDev == nil {
+		return 0, fmt.Errorf("%w: no swap device configured", mm.ErrNotSupported)
+	}
+	if err := arch.CheckCanonical(va, size); err != nil {
+		return 0, fmt.Errorf("%w: %v", mm.ErrBadRange, err)
+	}
+	t0 := a.kernelEnter()
+	defer a.kernelExit(t0)
+	a.m.OpTick(core)
+
+	c, err := a.Lock(core, va, va+arch.Vaddr(size))
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	c.needSync = true // A-bit clears and unmaps must be seen before reuse
+
+	accessedMask := a.isa.SetAccessed(0)
+	reclaimed := 0
+	for off := uint64(0); off < size && reclaimed < target; off += arch.PageSize {
+		page := va + arch.Vaddr(off)
+		st, err := c.Query(page)
+		if err != nil {
+			return reclaimed, err
+		}
+		if st.Kind != pt.StatusMapped || st.Perm&(arch.PermShared|arch.PermCOW) != 0 {
+			continue
+		}
+		head := a.m.Phys.HeadOf(st.Page)
+		d := a.m.Phys.Desc(head)
+		if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
+			continue
+		}
+		pte, level, ok := a.tree.Walk(page)
+		if !ok || level != 1 {
+			continue // huge pages are not reclaimed by the clock
+		}
+		if a.isa.Accessed(pte) {
+			// Recently used: clear the bit (second chance) and move on.
+			// We hold the covering lock, so a plain store suffices; the
+			// queued shootdown forces re-walks that will set it again.
+			a.tree.StorePTE(c.leafPTOf(page), arch.IndexAt(page, 1), pte&^accessedMask)
+			c.noteFlush(page, 1)
+			continue
+		}
+		// Cold page: swap it out.
+		block := a.swapDev.AllocBlock()
+		a.swapDev.Write(block, a.m.Phys.DataPage(st.Page))
+		if err := c.Unmap(page, page+arch.PageSize); err != nil {
+			a.swapDev.FreeBlock(block)
+			return reclaimed, err
+		}
+		err = c.Mark(page, page+arch.PageSize, pt.Status{
+			Kind: pt.StatusSwapped, Perm: st.Perm, Dev: a.swapDev, Block: block, Key: st.Key,
+		})
+		if err != nil {
+			a.swapDev.FreeBlock(block)
+			return reclaimed, err
+		}
+		a.stats.SwapOuts.Add(1)
+		reclaimed++
+	}
+	return reclaimed, nil
+}
+
+// MadviseDontNeed implements mm.Madviser: release the physical pages of
+// [va, va+size) while keeping the virtual allocation. Mapped pages
+// revert to their logical not-present status (PrivateAnon for anonymous
+// memory, the file status for file mappings), so a later access faults
+// in fresh content, exactly like Linux's MADV_DONTNEED.
+func (a *AddrSpace) MadviseDontNeed(core int, va arch.Vaddr, size uint64) error {
+	if err := arch.CheckCanonical(va, size); err != nil {
+		return fmt.Errorf("%w: %v", mm.ErrBadRange, err)
+	}
+	t0 := a.kernelEnter()
+	defer a.kernelExit(t0)
+	a.m.OpTick(core)
+
+	c, err := a.Lock(core, va, va+arch.Vaddr(size))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.needSync = true // dropped frames are reused immediately
+
+	for off := uint64(0); off < size; off += arch.PageSize {
+		page := va + arch.Vaddr(off)
+		st, err := c.Query(page)
+		if err != nil {
+			return err
+		}
+		if st.Kind != pt.StatusMapped {
+			continue
+		}
+		head := a.m.Phys.HeadOf(st.Page)
+		d := a.m.Phys.Desc(head)
+		var restored pt.Status
+		if d.RMap.File != nil {
+			kind := pt.StatusPrivateFile
+			if st.Perm&arch.PermShared != 0 {
+				kind = pt.StatusSharedFile
+			}
+			restored = pt.Status{Kind: kind, Perm: logicalPerm(st.Perm) &^ (arch.PermCOW | arch.PermShared),
+				File: d.RMap.File, Off: d.RMap.Index, Key: st.Key}
+		} else {
+			restored = pt.Status{Kind: pt.StatusPrivateAnon,
+				Perm: logicalPerm(st.Perm) &^ (arch.PermCOW | arch.PermShared), Key: st.Key}
+		}
+		if err := c.Unmap(page, page+arch.PageSize); err != nil {
+			return err
+		}
+		if err := c.Mark(page, page+arch.PageSize, restored); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leafPTOf returns the level-1 PT page covering page; the caller must
+// have verified via Walk that the full path exists.
+func (c *RCursor) leafPTOf(page arch.Vaddr) arch.PFN {
+	t, isa := c.a.tree, c.a.isa
+	cur, level := c.root, c.rootLevel
+	base := c.rootBase
+	for level > 1 {
+		span := arch.SpanBytes(level)
+		idx := int(uint64(page-base) / span)
+		pte := t.LoadPTE(cur, idx)
+		cur = isa.PFNOf(pte)
+		base += arch.Vaddr(uint64(idx) * span)
+		level--
+	}
+	return cur
+}

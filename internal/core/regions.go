@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/pt"
+)
+
+// Region is one maximal run of pages with identical state — what a
+// /proc/<pid>/maps line reports. CortenMM has no VMA list, so regions
+// are *derived* by walking the page table (the enumerate-the-address-
+// space path that §6.2 calls CortenMM's worst case); they are
+// descriptive output, never an input to any MM operation.
+type Region struct {
+	Start, End arch.Vaddr
+	Kind       pt.StatusKind
+	Perm       arch.Perm
+	// Resident counts pages currently backed by frames.
+	Resident int
+}
+
+// Size returns the region length in bytes.
+func (r Region) Size() uint64 { return uint64(r.End - r.Start) }
+
+// String renders the region like a /proc/maps line.
+func (r Region) String() string {
+	return fmt.Sprintf("%012x-%012x %s %-13v resident=%d", uint64(r.Start), uint64(r.End),
+		r.Perm, r.Kind, r.Resident)
+}
+
+// Regions enumerates the address space as maximal uniform regions. The
+// whole walk runs inside one transaction, so the snapshot is atomic.
+func (a *AddrSpace) Regions(core int) ([]Region, error) {
+	c, err := a.Lock(core, 0, arch.MaxVaddr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	var out []Region
+	flush := func(r *Region) {
+		if r.End > r.Start {
+			out = append(out, *r)
+		}
+	}
+	var cur Region
+	a.walkRegions(c, a.tree.Root, arch.Levels, 0, func(lo, hi arch.Vaddr, kind pt.StatusKind, perm arch.Perm, resident int) {
+		// Normalize: a mapped COW page belongs to the same logical
+		// region as its writable neighbours.
+		normPerm := logicalPerm(perm) &^ (arch.PermCOW | arch.PermShared)
+		if cur.End == lo && cur.Kind == regionKind(kind) && cur.Perm == normPerm {
+			cur.End = hi
+			cur.Resident += resident
+			return
+		}
+		flush(&cur)
+		cur = Region{Start: lo, End: hi, Kind: regionKind(kind), Perm: normPerm, Resident: resident}
+	})
+	flush(&cur)
+	return out, nil
+}
+
+// regionKind folds residency states into the logical backing class for
+// coalescing: an on-demand anonymous region stays one region whether
+// its pages are unfaulted, resident, or swapped.
+func regionKind(k pt.StatusKind) pt.StatusKind {
+	if k == pt.StatusMapped || k == pt.StatusSwapped {
+		return pt.StatusPrivateAnon
+	}
+	return k
+}
+
+// walkRegions visits every allocated span under pfn in address order.
+func (a *AddrSpace) walkRegions(c *RCursor, pfn arch.PFN, level int, base arch.Vaddr,
+	visit func(lo, hi arch.Vaddr, kind pt.StatusKind, perm arch.Perm, resident int)) {
+
+	t, isa := a.tree, a.isa
+	span := arch.SpanBytes(level)
+	for idx := 0; idx < arch.PTEntries; idx++ {
+		entryLo := base + arch.Vaddr(uint64(idx)*span)
+		pte := t.LoadPTE(pfn, idx)
+		if isa.IsPresent(pte) {
+			if isa.IsLeaf(pte, level) {
+				pages := int(span / arch.PageSize)
+				kind := pt.StatusMapped
+				// Classify file-backed pages through the descriptor so
+				// a file region does not merge with anon neighbours.
+				head := a.m.Phys.HeadOf(isa.PFNOf(pte))
+				if d := a.m.Phys.Desc(head); d.RMap.File != nil {
+					if isa.PermOf(pte)&arch.PermShared != 0 {
+						kind = pt.StatusSharedFile
+					} else {
+						kind = pt.StatusPrivateFile
+					}
+				}
+				visit(entryLo, entryLo+arch.Vaddr(span), kind, isa.PermOf(pte), pages)
+				continue
+			}
+			a.walkRegions(c, isa.PFNOf(pte), level-1, entryLo, visit)
+			continue
+		}
+		if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
+			visit(entryLo, entryLo+arch.Vaddr(span), s.Kind, s.Perm, 0)
+		}
+	}
+}
+
+// DumpLayout writes the /proc/maps-style layout to w.
+func (a *AddrSpace) DumpLayout(core int, w io.Writer) error {
+	regions, err := a.Regions(core)
+	if err != nil {
+		return err
+	}
+	for _, r := range regions {
+		if _, err := fmt.Fprintln(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the Figure-12 well-formedness invariant on
+// the live page table. The address space must be quiescent (no
+// concurrent transactions); tests call it after every workload.
+func (a *AddrSpace) CheckInvariants() error {
+	return a.tree.CheckWellFormed()
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+	"cortenmm/internal/tlb"
+)
+
+func newSpaceTLB(t *testing.T, mode tlb.Mode) (*AddrSpace, *cpusim.Machine) {
+	t.Helper()
+	m := cpusim.New(cpusim.Config{Cores: 4, Frames: 1 << 14, TLBMode: mode, TickEvery: 8})
+	a, err := New(Options{Machine: m, Protocol: ProtocolAdv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+// TestLATRBoundedStaleness verifies the LATR contract at the MM level:
+// after munmap, a remote core's stale translation survives at most one
+// timer tick, and the freed frame is not reused before the shootdown
+// lands (it sits in the RCU monitor).
+func TestLATRBoundedStaleness(t *testing.T) {
+	a, m := newSpaceTLB(t, tlb.ModeLATR)
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+	// Core 1 caches the translation.
+	if err := a.Store(1, va, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 unmaps; LATR defers the remote invalidation.
+	if err := a.Munmap(0, va, arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Until core 1 ticks, its TLB may still translate va — and because
+	// the frame is parked in the RCU monitor, reading through the stale
+	// translation still sees the old (not-recycled) frame.
+	if _, ok := m.TLB.Lookup(1, a.ASID(), va); ok {
+		b, err := a.Load(1, va)
+		if err != nil || b != 7 {
+			t.Fatalf("stale-window read = %d, %v (frame recycled too early)", b, err)
+		}
+	}
+	// After the tick the translation must be gone.
+	m.TLB.Tick(1)
+	if _, ok := m.TLB.Lookup(1, a.ASID(), va); ok {
+		t.Fatal("translation survived the LATR tick")
+	}
+	if err := a.Touch(1, va, pt.AccessRead); !errors.Is(err, mm.ErrSegv) {
+		t.Errorf("post-tick access: %v", err)
+	}
+	m.Quiesce()
+}
+
+// TestSyncShootdownImmediateAtMMLevel: under sync mode no stale window
+// exists at all.
+func TestSyncShootdownImmediateAtMMLevel(t *testing.T) {
+	a, m := newSpaceTLB(t, tlb.ModeSync)
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+	a.Store(1, va, 7)
+	a.Munmap(0, va, arch.PageSize)
+	if _, ok := m.TLB.Lookup(1, a.ASID(), va); ok {
+		t.Fatal("sync shootdown left a stale entry")
+	}
+	if err := a.Touch(1, va, pt.AccessRead); !errors.Is(err, mm.ErrSegv) {
+		t.Errorf("access after sync unmap: %v", err)
+	}
+}
+
+// TestEarlyAckDrainOnAccess: the early-ack protocol applies queued
+// invalidations before the next lookup, so no access ever uses one.
+func TestEarlyAckDrainOnAccess(t *testing.T) {
+	a, m := newSpaceTLB(t, tlb.ModeEarlyAck)
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+	a.Store(1, va, 7)
+	a.Munmap(0, va, arch.PageSize)
+	// The inbox entry must be consumed before the lookup is answered.
+	if err := a.Touch(1, va, pt.AccessRead); !errors.Is(err, mm.ErrSegv) {
+		t.Errorf("early-ack let a stale translation through: %v", err)
+	}
+	m.Quiesce()
+}
+
+// TestProtectIsNeverLazy: permission tightening must be visible
+// system-wide immediately even under LATR (§4.5 restricts laziness to
+// munmap).
+func TestProtectIsNeverLazy(t *testing.T) {
+	a, m := newSpaceTLB(t, tlb.ModeLATR)
+	defer a.Destroy(0)
+	va, _ := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+	a.Store(1, va, 7) // core 1 caches a writable translation
+	if err := a.Mprotect(0, va, arch.PageSize, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	// No tick has happened, yet core 1 must fault on write.
+	if _, ok := m.TLB.Lookup(1, a.ASID(), va); ok {
+		t.Fatal("mprotect left core 1's translation intact under LATR")
+	}
+	if err := a.Touch(1, va, pt.AccessWrite); !errors.Is(err, mm.ErrSegv) {
+		t.Errorf("write after mprotect: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package cpusim models the multicore machine the memory managers run
+// on: a fixed set of cores (each simulated by one goroutine that carries
+// its core ID), NUMA-node assignment, timer ticks that drive LATR TLB
+// sweeps and RCU reclamation, and the virtual-address allocators —
+// including the per-core allocator of §4.5, where each core owns a
+// private share of the address space to avoid allocation contention.
+package cpusim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cortenmm/internal/mem"
+	"cortenmm/internal/rcu"
+	"cortenmm/internal/tlb"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of simulated CPUs.
+	Cores int
+	// NUMANodes partitions cores round-robin into nodes (NrOS replicas).
+	NUMANodes int
+	// Frames is the simulated physical memory size in 4-KiB frames.
+	Frames int
+	// TLBMode selects the shootdown protocol.
+	TLBMode tlb.Mode
+	// TickEvery fires the per-core timer every N OpTick events
+	// (default 64).
+	TickEvery int
+}
+
+// Machine bundles the hardware substrates of one simulated system.
+type Machine struct {
+	Cores     int
+	NUMANodes int
+	Phys      *mem.PhysMem
+	TLB       *tlb.Machine
+	RCU       *rcu.Domain
+
+	tickEvery int
+	ticks     []tickState
+	nextASID  atomic.Uint32
+}
+
+type tickState struct {
+	n uint64
+	_ [56]byte
+}
+
+// New builds a machine. Zero config fields get sensible defaults
+// (4 cores, 1 node, 64 Ki frames = 256 MiB, sync TLB shootdown).
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.NUMANodes <= 0 {
+		cfg.NUMANodes = 1
+	}
+	if cfg.Frames <= 0 {
+		cfg.Frames = 1 << 16
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 64
+	}
+	return &Machine{
+		Cores:     cfg.Cores,
+		NUMANodes: cfg.NUMANodes,
+		Phys:      mem.NewPhysMem(cfg.Frames, cfg.Cores),
+		TLB:       tlb.NewMachine(cfg.Cores, cfg.TLBMode),
+		RCU:       rcu.NewDomain(cfg.Cores),
+		tickEvery: cfg.TickEvery,
+		ticks:     make([]tickState, cfg.Cores),
+	}
+}
+
+// NodeOf returns the NUMA node of a core.
+func (m *Machine) NodeOf(core int) int { return core % m.NUMANodes }
+
+// AllocASID hands out a fresh address-space identifier.
+func (m *Machine) AllocASID() tlb.ASID { return tlb.ASID(m.nextASID.Add(1)) }
+
+// Run executes fn concurrently on cores 0..n-1 and waits for all of
+// them, the harness for every multithreaded workload.
+func (m *Machine) Run(n int, fn func(core int)) {
+	if n > m.Cores {
+		panic(fmt.Sprintf("cpusim: Run(%d) exceeds %d cores", n, m.Cores))
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(c)
+		}()
+	}
+	wg.Wait()
+}
+
+// OpTick advances core's event clock; every TickEvery events the core
+// takes a "timer interrupt": it sweeps LATR buffers and polls RCU.
+// Workloads call this once per high-level operation.
+func (m *Machine) OpTick(core int) {
+	t := &m.ticks[core]
+	t.n++
+	if t.n%uint64(m.tickEvery) == 0 {
+		m.TLB.Tick(core)
+		m.RCU.Poll()
+	}
+}
+
+// Quiesce drains all deferred work (RCU callbacks, pending TLB
+// invalidations) — used between benchmark phases and in tests before
+// checking invariants.
+func (m *Machine) Quiesce() {
+	m.RCU.Barrier()
+	for c := 0; c < m.Cores; c++ {
+		m.TLB.Tick(c)
+	}
+}

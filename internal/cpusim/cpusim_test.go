@@ -1,0 +1,151 @@
+package cpusim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/pt"
+	"cortenmm/internal/tlb"
+)
+
+func TestDefaults(t *testing.T) {
+	m := New(Config{})
+	if m.Cores != 4 || m.NUMANodes != 1 {
+		t.Errorf("defaults: cores=%d nodes=%d", m.Cores, m.NUMANodes)
+	}
+	if m.Phys.NFrames() != 1<<16 {
+		t.Errorf("frames = %d", m.Phys.NFrames())
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	m := New(Config{Cores: 8, NUMANodes: 2})
+	if m.NodeOf(0) != 0 || m.NodeOf(1) != 1 || m.NodeOf(2) != 0 {
+		t.Error("round-robin NUMA assignment broken")
+	}
+}
+
+func TestRunAllCores(t *testing.T) {
+	m := New(Config{Cores: 8})
+	var mask atomic.Uint32
+	m.Run(8, func(core int) { mask.Or(1 << core) })
+	if mask.Load() != 0xff {
+		t.Errorf("cores ran: %#x", mask.Load())
+	}
+}
+
+func TestRunTooMany(t *testing.T) {
+	m := New(Config{Cores: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("Run beyond core count did not panic")
+		}
+	}()
+	m.Run(3, func(int) {})
+}
+
+func TestASIDsUnique(t *testing.T) {
+	m := New(Config{})
+	a, b := m.AllocASID(), m.AllocASID()
+	if a == b || a == 0 {
+		t.Errorf("ASIDs %d %d", a, b)
+	}
+}
+
+func TestOpTickDrivesLATR(t *testing.T) {
+	m := New(Config{Cores: 2, TLBMode: tlb.ModeLATR, TickEvery: 4})
+	m.TLB.Insert(1, 1, 0x1000, pt.Translation{PFN: 1, Perm: arch.PermRW, Level: 1})
+	m.TLB.Shootdown(0, 1, []arch.Vaddr{0x1000})
+	if m.TLB.PendingInvalidations() == 0 {
+		t.Fatal("LATR should defer")
+	}
+	for i := 0; i < 4; i++ {
+		m.OpTick(0)
+	}
+	if m.TLB.PendingInvalidations() != 0 {
+		t.Error("OpTick did not sweep LATR buffers")
+	}
+}
+
+func TestPerCoreVADisjoint(t *testing.T) {
+	p := NewPerCoreVA(4)
+	seen := map[arch.Vaddr]int{}
+	for core := 0; core < 4; core++ {
+		for i := 0; i < 100; i++ {
+			va, err := p.Alloc(core, 16*arch.PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, dup := seen[va]; dup {
+				t.Fatalf("va %#x handed to cores %d and %d", va, prev, core)
+			}
+			seen[va] = core
+			if va < UserLo || va >= UserHi {
+				t.Fatalf("va %#x outside user range", va)
+			}
+		}
+	}
+}
+
+func TestPerCoreVAReuse(t *testing.T) {
+	p := NewPerCoreVA(2)
+	va, _ := p.Alloc(0, 4*arch.PageSize)
+	p.Free(0, va, 4*arch.PageSize)
+	va2, _ := p.Alloc(0, 4*arch.PageSize)
+	if va2 != va {
+		t.Errorf("freed range not reused: %#x vs %#x", va, va2)
+	}
+	// Cross-core free routes to the owner arena.
+	va3, _ := p.Alloc(0, 8*arch.PageSize)
+	p.Free(1, va3, 8*arch.PageSize)
+	va4, _ := p.Alloc(0, 8*arch.PageSize)
+	if va4 != va3 {
+		t.Errorf("cross-core freed range not reused by owner: %#x vs %#x", va3, va4)
+	}
+}
+
+func TestGlobalVA(t *testing.T) {
+	g := NewGlobalVA()
+	va, err := g.Alloc(3, 4*arch.PageSize)
+	if err != nil || va != UserLo {
+		t.Fatalf("va=%#x err=%v", va, err)
+	}
+	g.Free(0, va, 4*arch.PageSize)
+	va2, _ := g.Alloc(1, 4*arch.PageSize)
+	if va2 != va {
+		t.Error("global free list not reused")
+	}
+}
+
+func TestVAExhaustion(t *testing.T) {
+	p := NewPerCoreVA(2)
+	span := (uint64(UserHi) - uint64(UserLo)) / 2
+	if _, err := p.Alloc(0, span+arch.PageSize); err == nil {
+		t.Error("oversized alloc succeeded")
+	}
+}
+
+func TestParallelVAAlloc(t *testing.T) {
+	m := New(Config{Cores: 8})
+	p := NewPerCoreVA(8)
+	var fail atomic.Int32
+	m.Run(8, func(core int) {
+		var held []arch.Vaddr
+		for i := 0; i < 1000; i++ {
+			va, err := p.Alloc(core, 16*arch.PageSize)
+			if err != nil {
+				fail.Add(1)
+				return
+			}
+			held = append(held, va)
+			if i%3 == 0 {
+				p.Free(core, held[len(held)-1], 16*arch.PageSize)
+				held = held[:len(held)-1]
+			}
+		}
+	})
+	if fail.Load() != 0 {
+		t.Error("parallel allocation failed")
+	}
+}

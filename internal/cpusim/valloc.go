@@ -1,0 +1,141 @@
+package cpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"cortenmm/internal/arch"
+)
+
+// User virtual-address range carved up by the allocators. The low 4 GiB
+// are left for fixed-address mappings requested by applications; the top
+// half of the 48-bit space is the kernel's.
+const (
+	UserLo = arch.Vaddr(1) << 32
+	UserHi = arch.Vaddr(1) << 47
+)
+
+// VAAlloc hands out virtual-address ranges for anonymous mmaps. Sizes
+// are page-aligned byte counts.
+type VAAlloc interface {
+	Alloc(core int, size uint64) (arch.Vaddr, error)
+	Free(core int, va arch.Vaddr, size uint64)
+	// Clone duplicates the allocator state; fork needs the child's
+	// allocator to consider every parent range in use.
+	Clone() VAAlloc
+}
+
+// ErrVAExhausted is returned when an allocator's arena is full.
+var ErrVAExhausted = fmt.Errorf("cpusim: virtual address arena exhausted")
+
+// arena is a bump allocator with size-segregated free lists.
+type arena struct {
+	mu    sync.Mutex
+	next  arch.Vaddr
+	limit arch.Vaddr
+	free  map[uint64][]arch.Vaddr
+}
+
+func (a *arena) alloc(size uint64) (arch.Vaddr, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if list := a.free[size]; len(list) > 0 {
+		va := list[len(list)-1]
+		a.free[size] = list[:len(list)-1]
+		return va, nil
+	}
+	if uint64(a.next)+size > uint64(a.limit) {
+		return 0, ErrVAExhausted
+	}
+	va := a.next
+	a.next += arch.Vaddr(size)
+	return va, nil
+}
+
+func (a *arena) freeRange(va arch.Vaddr, size uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free[size] = append(a.free[size], va)
+}
+
+func (a *arena) cloneInto(dst *arena) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	dst.next = a.next
+	dst.limit = a.limit
+	dst.free = make(map[uint64][]arch.Vaddr, len(a.free))
+	for sz, list := range a.free {
+		dst.free[sz] = append([]arch.Vaddr(nil), list...)
+	}
+}
+
+// PerCoreVA is CortenMM's per-core virtual address allocator (§4.5):
+// each core owns a private share of the address space, so concurrent
+// allocation and freeing never contend. Frees route back to the owning
+// core's arena by address.
+type PerCoreVA struct {
+	arenas []arena
+	lo     arch.Vaddr
+	span   uint64
+}
+
+// NewPerCoreVA splits [UserLo, UserHi) evenly among cores.
+func NewPerCoreVA(cores int) *PerCoreVA {
+	span := (uint64(UserHi) - uint64(UserLo)) / uint64(cores)
+	span &^= arch.PageSize - 1
+	p := &PerCoreVA{arenas: make([]arena, cores), lo: UserLo, span: span}
+	for i := range p.arenas {
+		base := UserLo + arch.Vaddr(uint64(i)*span)
+		p.arenas[i] = arena{next: base, limit: base + arch.Vaddr(span), free: make(map[uint64][]arch.Vaddr)}
+	}
+	return p
+}
+
+// Alloc implements VAAlloc from the calling core's private arena.
+func (p *PerCoreVA) Alloc(core int, size uint64) (arch.Vaddr, error) {
+	return p.arenas[core].alloc(size)
+}
+
+// Free implements VAAlloc, returning the range to the arena that owns
+// the address (which may differ from the freeing core).
+func (p *PerCoreVA) Free(core int, va arch.Vaddr, size uint64) {
+	owner := int(uint64(va-p.lo) / p.span)
+	if owner >= len(p.arenas) {
+		owner = len(p.arenas) - 1
+	}
+	p.arenas[owner].freeRange(va, size)
+}
+
+// Clone implements VAAlloc.
+func (p *PerCoreVA) Clone() VAAlloc {
+	c := &PerCoreVA{arenas: make([]arena, len(p.arenas)), lo: p.lo, span: p.span}
+	for i := range p.arenas {
+		p.arenas[i].cloneInto(&c.arenas[i])
+	}
+	return c
+}
+
+// GlobalVA is a single shared arena guarded by one lock — the allocator
+// the adv_base ablation (§6.4) falls back to, and roughly what a naive
+// kernel does.
+type GlobalVA struct {
+	a arena
+}
+
+// NewGlobalVA covers all of [UserLo, UserHi) with one arena.
+func NewGlobalVA() *GlobalVA {
+	return &GlobalVA{a: arena{next: UserLo, limit: UserHi, free: make(map[uint64][]arch.Vaddr)}}
+}
+
+// Alloc implements VAAlloc.
+func (g *GlobalVA) Alloc(core int, size uint64) (arch.Vaddr, error) { return g.a.alloc(size) }
+
+// Free implements VAAlloc.
+func (g *GlobalVA) Free(core int, va arch.Vaddr, size uint64) { g.a.freeRange(va, size) }
+
+// Clone implements VAAlloc.
+func (g *GlobalVA) Clone() VAAlloc {
+	c := &GlobalVA{}
+	g.a.cloneInto(&c.a)
+	return c
+}

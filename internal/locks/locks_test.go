@@ -1,0 +1,218 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// hammerMutex checks mutual exclusion by having workers increment a
+// counter that is only consistent when protected.
+func hammerMutex(t *testing.T, l Mutex, workers, iters int) {
+	t.Helper()
+	var shared int64 // plain int: data race unless the lock works
+	var inCS atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				if n := inCS.Add(1); n != 1 {
+					t.Errorf("mutual exclusion violated: %d in CS", n)
+				}
+				shared++
+				inCS.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != int64(workers*iters) {
+		t.Errorf("shared = %d, want %d", shared, workers*iters)
+	}
+}
+
+func TestMCSMutualExclusion(t *testing.T)    { hammerMutex(t, new(MCS), 8, 2000) }
+func TestTicketMutualExclusion(t *testing.T) { hammerMutex(t, new(Ticket), 8, 2000) }
+
+func TestMCSTryLock(t *testing.T) {
+	l := new(MCS)
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestTicketTryLock(t *testing.T) {
+	l := new(Ticket)
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestMCSUnlockUnlocked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unlocked MCS did not panic")
+		}
+	}()
+	new(MCS).Unlock()
+}
+
+// hammerRW checks that writers are exclusive and readers see consistent
+// state (two fields always updated together under the write lock).
+func hammerRW(t *testing.T, l RWLock, cores, iters int) {
+	t.Helper()
+	var a, b int64
+	var writersIn atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if i%4 == 0 { // 25% writes
+					l.Lock(c)
+					if n := writersIn.Add(1); n != 1 {
+						t.Errorf("writer exclusion violated: %d writers", n)
+					}
+					a++
+					b++
+					writersIn.Add(-1)
+					l.Unlock(c)
+				} else {
+					l.RLock(c)
+					if writersIn.Load() != 0 {
+						t.Error("reader overlapped a writer")
+					}
+					if a != b {
+						t.Errorf("inconsistent read: a=%d b=%d", a, b)
+					}
+					l.RUnlock(c)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPhaseFair(t *testing.T) { hammerRW(t, new(PhaseFair), 8, 2000) }
+
+func TestBRAVO(t *testing.T) { hammerRW(t, NewBRAVO(new(PhaseFair), 8), 8, 2000) }
+
+func TestBRAVOReadFastPath(t *testing.T) {
+	b := NewBRAVO(new(PhaseFair), 4)
+	// Pure-reader phase uses slots only.
+	b.RLock(0)
+	if !b.slots[0].flag.Load() {
+		t.Error("reader did not publish in slot while biased")
+	}
+	b.RLock(1)
+	b.RUnlock(1)
+	b.RUnlock(0)
+	if b.slots[0].flag.Load() {
+		t.Error("slot not cleared on RUnlock")
+	}
+}
+
+func TestBRAVORevocation(t *testing.T) {
+	b := NewBRAVO(new(PhaseFair), 4)
+	b.RLock(0) // biased fast-path reader
+	done := make(chan struct{})
+	go func() {
+		b.Lock(1) // must wait for the visible reader
+		b.Unlock(1)
+		close(done)
+	}()
+	// Writer cannot finish while the reader is visible.
+	select {
+	case <-done:
+		t.Fatal("writer acquired lock while visible reader held it")
+	default:
+	}
+	b.RUnlock(0)
+	<-done
+	if b.rbias.Load() {
+		t.Error("bias not revoked immediately after writer")
+	}
+	// Post-revocation readers fall back to the underlying lock and still work.
+	b.RLock(2)
+	b.RUnlock(2)
+}
+
+func TestPhaseFairWriterFIFO(t *testing.T) {
+	l := new(PhaseFair)
+	l.Lock(0)
+	order := make(chan int, 2)
+	started := make(chan struct{}, 2)
+	go func() { started <- struct{}{}; l.Lock(1); order <- 1; l.Unlock(1) }()
+	<-started
+	// Give writer 1 time to take its ticket before writer 2.
+	for l.win.Load() != 2 {
+	}
+	go func() { started <- struct{}{}; l.Lock(2); order <- 2; l.Unlock(2) }()
+	<-started
+	for l.win.Load() != 3 {
+	}
+	l.Unlock(0)
+	if first := <-order; first != 1 {
+		t.Errorf("writer order violated: %d acquired first", first)
+	}
+	<-order
+}
+
+func BenchmarkMCSUncontended(b *testing.B) {
+	l := new(MCS)
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkTicketUncontended(b *testing.B) {
+	l := new(Ticket)
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkPhaseFairRead(b *testing.B) {
+	l := new(PhaseFair)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.RLock(0)
+			l.RUnlock(0)
+		}
+	})
+}
+
+func BenchmarkBRAVORead(b *testing.B) {
+	l := NewBRAVO(new(PhaseFair), 64)
+	var core atomic.Int32
+	b.RunParallel(func(pb *testing.PB) {
+		c := int(core.Add(1)-1) % 64
+		for pb.Next() {
+			l.RLock(c)
+			l.RUnlock(c)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"sync"
+
+	"cortenmm/internal/arch"
+)
+
+// MaxOrder is the largest buddy order: order 18 blocks are 1 GiB, the
+// largest page size CortenMM supports.
+const MaxOrder = 18
+
+const noBlock = int32(-1)
+
+// buddy is a binary-buddy frame allocator, following Linux's design as
+// described in §4.5. Free blocks of each order form doubly linked lists
+// threaded through per-frame link arrays; frees eagerly coalesce buddies.
+type buddy struct {
+	mu     sync.Mutex
+	n      int
+	order  []uint8 // order of the block headed at this frame (free blocks)
+	isFree []bool  // true when this frame heads a free block
+	next   []int32
+	prev   []int32
+	heads  [MaxOrder + 1]int32
+	nfree  uint64 // free frames (not blocks)
+}
+
+func (b *buddy) init(nframes int) {
+	b.n = nframes
+	b.order = make([]uint8, nframes)
+	b.isFree = make([]bool, nframes)
+	b.next = make([]int32, nframes)
+	b.prev = make([]int32, nframes)
+	for i := range b.heads {
+		b.heads[i] = noBlock
+	}
+	// Seed the free lists with maximal aligned blocks, skipping the
+	// reserved NULL frame 0.
+	pfn := 1
+	for pfn < nframes {
+		o := 0
+		for o < MaxOrder && pfn&(1<<(o+1)-1) == 0 && pfn+1<<(o+1) <= nframes {
+			o++
+		}
+		// The alignment loop can overshoot what fits; shrink if needed.
+		for pfn+1<<o > nframes {
+			o--
+		}
+		b.pushFree(int32(pfn), o)
+		pfn += 1 << o
+	}
+}
+
+func (b *buddy) pushFree(pfn int32, order int) {
+	b.order[pfn] = uint8(order)
+	b.isFree[pfn] = true
+	b.prev[pfn] = noBlock
+	b.next[pfn] = b.heads[order]
+	if h := b.heads[order]; h != noBlock {
+		b.prev[h] = pfn
+	}
+	b.heads[order] = pfn
+	b.nfree += 1 << order
+}
+
+func (b *buddy) unlink(pfn int32, order int) {
+	if p := b.prev[pfn]; p != noBlock {
+		b.next[p] = b.next[pfn]
+	} else {
+		b.heads[order] = b.next[pfn]
+	}
+	if n := b.next[pfn]; n != noBlock {
+		b.prev[n] = b.prev[pfn]
+	}
+	b.isFree[pfn] = false
+	b.nfree -= 1 << order
+}
+
+// alloc removes one naturally aligned block of 2^order frames.
+func (b *buddy) alloc(order int) (arch.PFN, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pfn, ok := b.allocLocked(order)
+	return pfn, ok
+}
+
+func (b *buddy) allocLocked(order int) (arch.PFN, bool) {
+	o := order
+	for o <= MaxOrder && b.heads[o] == noBlock {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, false
+	}
+	pfn := b.heads[o]
+	b.unlink(pfn, o)
+	for o > order {
+		o--
+		b.pushFree(pfn+1<<o, o)
+	}
+	b.order[pfn] = uint8(order)
+	return arch.PFN(pfn), true
+}
+
+// free returns a block, coalescing with its buddy as far as possible.
+func (b *buddy) free(pfn arch.PFN, order int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.freeLocked(int32(pfn), order)
+}
+
+func (b *buddy) freeLocked(pfn int32, order int) {
+	for order < MaxOrder {
+		bud := pfn ^ 1<<order
+		if int(bud)+1<<order > b.n || !b.isFree[bud] || b.order[bud] != uint8(order) {
+			break
+		}
+		b.unlink(bud, order)
+		if bud < pfn {
+			pfn = bud
+		}
+		order++
+	}
+	b.pushFree(pfn, order)
+}
+
+// allocBatch fills buf with order-0 frames under a single lock
+// acquisition (the refill path of the per-core caches). Returns the
+// number of frames obtained.
+func (b *buddy) allocBatch(buf []arch.PFN) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range buf {
+		pfn, ok := b.allocLocked(0)
+		if !ok {
+			return i
+		}
+		buf[i] = pfn
+	}
+	return len(buf)
+}
+
+// freeBatch returns order-0 frames under a single lock acquisition.
+func (b *buddy) freeBatch(pfns []arch.PFN) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, pfn := range pfns {
+		b.freeLocked(int32(pfn), 0)
+	}
+}
+
+func (b *buddy) freeCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nfree
+}
+
+// pcp sizing: caches hold up to pcpHigh order-0 frames and move
+// pcpBatch frames at a time to/from the buddy, like Linux's pcplists.
+const (
+	pcpBatch = 64
+	pcpHigh  = 128
+)
+
+// pcpCache is a per-core cache of order-0 frames. The owning core is by
+// far the dominant user, but deferred frees (RCU callbacks, reverse-map
+// walks) may run on other goroutines, so a mutex — virtually always
+// uncontended — guards the list.
+type pcpCache struct {
+	mu     sync.Mutex
+	frames []arch.PFN
+	_      [40]byte
+}
+
+func (c *pcpCache) pop() (arch.PFN, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.frames) == 0 {
+		return 0, false
+	}
+	pfn := c.frames[len(c.frames)-1]
+	c.frames = c.frames[:len(c.frames)-1]
+	return pfn, true
+}
+
+func (c *pcpCache) fill(batch []arch.PFN) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames = append(c.frames, batch...)
+}
+
+// push caches a freed frame; when the cache exceeds its high-water mark
+// it returns a batch the caller must hand back to the buddy.
+func (c *pcpCache) push(pfn arch.PFN) []arch.PFN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames = append(c.frames, pfn)
+	if len(c.frames) < pcpHigh {
+		return nil
+	}
+	over := make([]arch.PFN, pcpBatch)
+	copy(over, c.frames[len(c.frames)-pcpBatch:])
+	c.frames = c.frames[:len(c.frames)-pcpBatch]
+	return over
+}
+
+func (c *pcpCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}

@@ -1,0 +1,96 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cortenmm/internal/arch"
+)
+
+// TestQuickBuddyNoOverlap: under random mixed-order alloc/free traffic,
+// live blocks never overlap, stay naturally aligned, and frames are
+// conserved.
+func TestQuickBuddyNoOverlap(t *testing.T) {
+	type block struct {
+		pfn   arch.PFN
+		order int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const frames = 1 << 12
+		m := NewPhysMem(frames, 1)
+		total := m.FreeFrames()
+		var live []block
+		owner := make([]int, frames) // 0 = free, else block id
+		nextID := 1
+		for step := 0; step < 400; step++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				order := rng.Intn(6)
+				pfn, err := m.AllocFrames(0, order, KindAnon)
+				if err != nil {
+					continue
+				}
+				if uint64(pfn)%(1<<order) != 0 {
+					t.Logf("misaligned order-%d block at %#x", order, pfn)
+					return false
+				}
+				for i := arch.PFN(0); i < 1<<order; i++ {
+					if owner[pfn+i] != 0 {
+						t.Logf("overlap at frame %#x", pfn+i)
+						return false
+					}
+					owner[pfn+i] = nextID
+				}
+				nextID++
+				live = append(live, block{pfn, order})
+			} else {
+				i := rng.Intn(len(live))
+				b := live[i]
+				live = append(live[:i], live[i+1:]...)
+				for j := arch.PFN(0); j < 1<<b.order; j++ {
+					owner[b.pfn+j] = 0
+				}
+				m.Put(0, b.pfn)
+			}
+			var held uint64
+			for _, b := range live {
+				held += 1 << b.order
+			}
+			if m.FreeFrames()+held != total {
+				t.Logf("conservation broken: free=%d held=%d total=%d", m.FreeFrames(), held, total)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHugeTailResolution: HeadOf resolves every member of a huge
+// block to its head, and resolves standalone frames to themselves.
+func TestQuickHugeTailResolution(t *testing.T) {
+	f := func(rawOrder uint8) bool {
+		order := int(rawOrder % 10)
+		m := NewPhysMem(1<<12, 1)
+		head, err := m.AllocFrames(0, order, KindAnon)
+		if err != nil {
+			return true // undersized machine for order; vacuous
+		}
+		for i := arch.PFN(0); i < 1<<order; i++ {
+			if m.HeadOf(head+i) != head {
+				return false
+			}
+		}
+		single, err := m.AllocFrame(0, KindAnon)
+		if err != nil {
+			return true
+		}
+		return m.HeadOf(single) == single
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

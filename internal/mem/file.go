@@ -1,0 +1,222 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"cortenmm/internal/arch"
+)
+
+// RMapTarget is implemented by address spaces so reverse mapping can walk
+// from a file page to every mapping of it. Reverse mappings are hints
+// (§4.5): the callee must re-validate through its transactional interface.
+type RMapTarget interface {
+	// RMapUnmap asks the target to unmap the given file page wherever it
+	// has it mapped. Used by writeback/reclaim paths.
+	RMapUnmap(file *File, index uint64)
+}
+
+// File is a simulated named file: a sparse array of pages backed by the
+// page cache, plus the tree of address spaces that map it (the paper's
+// reverse-mapping structure for named pages). Shared anonymous mappings
+// are supported by naming their pages with an anonymous File inside the
+// kernel, exactly as §4.5 describes.
+type File struct {
+	Name string
+
+	mu         sync.Mutex
+	mem        *PhysMem
+	size       uint64
+	pages      map[uint64]arch.PFN   // page cache: file page index -> frame
+	mappers    map[RMapTarget]uint64 // rmap "tree": mapper -> mapping count
+	writebacks uint64
+}
+
+// Writeback records that page index was written back to storage (msync,
+// reclaim). The page cache is the file content in this simulation, so
+// writeback is pure accounting.
+func (f *File) Writeback(index uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writebacks++
+}
+
+// WritebackCount reports cumulative writebacks.
+func (f *File) WritebackCount() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writebacks
+}
+
+// NewFile creates a file of the given byte size backed by m's page cache.
+func NewFile(m *PhysMem, name string, size uint64) *File {
+	return &File{
+		Name:    name,
+		mem:     m,
+		size:    size,
+		pages:   make(map[uint64]arch.PFN),
+		mappers: make(map[RMapTarget]uint64),
+	}
+}
+
+// Size returns the file length in bytes.
+func (f *File) Size() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// NPages returns the number of resident page-cache pages.
+func (f *File) NPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pages)
+}
+
+// GetPage returns the frame caching file page index, reading it in (i.e.
+// allocating and zero-filling, our stand-in for disk I/O) on a miss. The
+// returned frame carries an extra reference owned by the caller.
+func (f *File) GetPage(core int, index uint64) (arch.PFN, error) {
+	if index*arch.PageSize >= f.size {
+		return 0, fmt.Errorf("mem: file %q page %d beyond EOF", f.Name, index)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pfn, ok := f.pages[index]
+	if !ok {
+		var err error
+		pfn, err = f.mem.AllocFrame(core, KindFile)
+		if err != nil {
+			return 0, err
+		}
+		d := f.mem.Desc(pfn)
+		d.RMap = RMapRef{File: f, Index: index}
+		f.pages[index] = pfn // page cache holds the initial reference
+	}
+	f.mem.Get(pfn) // caller's reference
+	return pfn, nil
+}
+
+// DropPage evicts page index from the page cache, releasing the cache's
+// reference. Mappings keep their own references.
+func (f *File) DropPage(core int, index uint64) {
+	f.mu.Lock()
+	pfn, ok := f.pages[index]
+	if ok {
+		delete(f.pages, index)
+	}
+	f.mu.Unlock()
+	if ok {
+		f.mem.Put(core, pfn)
+	}
+}
+
+// AddMapper registers an address space in the reverse-mapping tree.
+func (f *File) AddMapper(t RMapTarget) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mappers[t]++
+}
+
+// RemoveMapper drops one registration of t.
+func (f *File) RemoveMapper(t RMapTarget) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := f.mappers[t]; n <= 1 {
+		delete(f.mappers, t)
+	} else {
+		f.mappers[t] = n - 1
+	}
+}
+
+// ForEachMapper calls fn for every registered address space. The file
+// lock is not held during fn, so fn may call back into the file.
+func (f *File) ForEachMapper(fn func(RMapTarget)) {
+	f.mu.Lock()
+	targets := make([]RMapTarget, 0, len(f.mappers))
+	for t := range f.mappers {
+		targets = append(targets, t)
+	}
+	f.mu.Unlock()
+	for _, t := range targets {
+		fn(t)
+	}
+}
+
+// UnmapAll walks the reverse map asking every mapper to unmap page index,
+// then evicts it from the page cache — the reclaim path.
+func (f *File) UnmapAll(core int, index uint64) {
+	f.ForEachMapper(func(t RMapTarget) { t.RMapUnmap(f, index) })
+	f.DropPage(core, index)
+}
+
+// BlockDev is a simulated swap block device: 4-KiB blocks with explicit
+// allocation, holding page contents for swapped-out pages.
+type BlockDev struct {
+	Name string
+
+	mu     sync.Mutex
+	blocks map[uint64][]byte
+	free   []uint64
+	next   uint64
+	nalloc int
+}
+
+// NewBlockDev creates an empty block device.
+func NewBlockDev(name string) *BlockDev {
+	return &BlockDev{Name: name, blocks: make(map[uint64][]byte)}
+}
+
+// AllocBlock reserves a block number for a swapped-out page.
+func (d *BlockDev) AllocBlock() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nalloc++
+	if n := len(d.free); n > 0 {
+		b := d.free[n-1]
+		d.free = d.free[:n-1]
+		return b
+	}
+	d.next++
+	return d.next - 1
+}
+
+// FreeBlock releases a block number and its contents.
+func (d *BlockDev) FreeBlock(b uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.blocks, b)
+	d.free = append(d.free, b)
+	d.nalloc--
+}
+
+// Write stores a page-sized buffer into block b (swap-out I/O).
+func (d *BlockDev) Write(b uint64, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks[b] = buf
+}
+
+// Read copies block b into buf (swap-in I/O). Unwritten blocks read as
+// zeros.
+func (d *BlockDev) Read(b uint64, buf []byte) {
+	d.mu.Lock()
+	data := d.blocks[b]
+	d.mu.Unlock()
+	if data == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return
+	}
+	copy(buf, data)
+}
+
+// InUse returns the number of allocated blocks.
+func (d *BlockDev) InUse() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nalloc
+}

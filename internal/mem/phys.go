@@ -1,0 +1,297 @@
+// Package mem simulates the physical-memory substrate CortenMM manages:
+// a frame allocator (buddy system with per-core caches, following Linux as
+// §4.5 describes), a frame table of page descriptors indexed by physical
+// frame number (the paper's contiguous descriptor region allocated at
+// boot), a simulated block device for swap, and file objects with a page
+// cache and the reverse-mapping registry of §4.5.
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cortenmm/internal/arch"
+)
+
+// Kind classifies what a physical frame is used for. The accounting per
+// kind feeds the memory-overhead experiments (Figures 18 and 22).
+type Kind uint32
+
+const (
+	// KindFree marks an unallocated frame.
+	KindFree Kind = iota
+	// KindAnon is an anonymous data page.
+	KindAnon
+	// KindFile is a file-backed page-cache page.
+	KindFile
+	// KindPT is a page-table page.
+	KindPT
+	// KindKernel is any other kernel allocation (VMA structs, logs, ...).
+	KindKernel
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFree:
+		return "free"
+	case KindAnon:
+		return "anon"
+	case KindFile:
+		return "file"
+	case KindPT:
+		return "pagetable"
+	case KindKernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("kind(%d)", uint32(k))
+}
+
+// FrameDesc is the page descriptor of one physical frame, the analog of
+// Linux's struct page and of CortenMM's PT-page descriptor (§3.3). The
+// descriptor of a PT page additionally carries protocol state installed by
+// the page-table layer through the PT field.
+type FrameDesc struct {
+	// Ref counts owners of the frame (page-cache entries, PTE mappings,
+	// transient pins). The frame returns to the allocator when it hits 0.
+	Ref atomic.Int64
+	// MapCount counts PTEs mapping this frame across all address spaces;
+	// the COW fault handler uses it to detect exclusive ownership (Fig 8).
+	MapCount atomic.Int64
+	// Kind is the current use of the frame.
+	Kind Kind
+	// Order is the buddy order the frame was allocated with (head only).
+	Order uint8
+
+	// PT points to page-table-layer state (lock, level, stale flag,
+	// per-PTE metadata array) when Kind == KindPT. Declared as any to
+	// keep the dependency direction mem <- pt.
+	PT any
+
+	// RMap is the reverse-mapping record: for file pages the owning
+	// *File and page index; for anonymous pages the owning address
+	// space. Reverse mappings are hints (§4.5): consumers must re-check
+	// through the transactional interface.
+	RMap RMapRef
+
+	// words is the PT-page payload: 512 PTEs accessed atomically.
+	words *[arch.PTEntries]uint64
+	// data is the lazily allocated data payload for content-carrying
+	// tests and COW copies.
+	data []byte
+	// tail is head-PFN+1 when this frame is a non-head member of a
+	// multi-frame (huge) block, 0 otherwise.
+	tail int64
+}
+
+// RMapRef identifies the logical owner of a frame for reverse mapping.
+type RMapRef struct {
+	// File is non-nil for named (file-backed or kernel-named shared
+	// anonymous) pages; Index is the page index within the file.
+	File  *File
+	Index uint64
+	// Anon is the owning address space for private anonymous pages.
+	Anon any
+}
+
+// PhysMem is the simulated physical memory: a frame table plus a buddy
+// allocator with per-core frame caches.
+type PhysMem struct {
+	frames []FrameDesc
+	buddy  buddy
+	pcp    []pcpCache
+	kinds  [numKinds]atomic.Int64 // frames allocated per kind
+}
+
+// NewPhysMem creates a physical memory of nframes 4-KiB frames serving
+// the given number of cores. Frame 0 is reserved (a NULL frame), as on
+// real hardware.
+func NewPhysMem(nframes, cores int) *PhysMem {
+	if nframes < 2 {
+		panic("mem: need at least 2 frames")
+	}
+	m := &PhysMem{
+		frames: make([]FrameDesc, nframes),
+		pcp:    make([]pcpCache, cores),
+	}
+	m.buddy.init(nframes)
+	return m
+}
+
+// NFrames returns the number of physical frames.
+func (m *PhysMem) NFrames() int { return len(m.frames) }
+
+// Desc returns the page descriptor of pfn.
+func (m *PhysMem) Desc(pfn arch.PFN) *FrameDesc { return &m.frames[pfn] }
+
+// ErrOutOfMemory is returned when no frame of the requested order exists.
+var ErrOutOfMemory = fmt.Errorf("mem: out of physical memory")
+
+// AllocFrame allocates one 4-KiB frame of the given kind, preferring the
+// calling core's frame cache. The frame starts with Ref == 1.
+func (m *PhysMem) AllocFrame(core int, kind Kind) (arch.PFN, error) {
+	pfn, ok := m.pcp[core].pop()
+	if !ok {
+		var batch [pcpBatch]arch.PFN
+		n := m.buddy.allocBatch(batch[:])
+		if n == 0 {
+			return 0, ErrOutOfMemory
+		}
+		pfn = batch[n-1]
+		m.pcp[core].fill(batch[:n-1])
+	}
+	m.initFrame(pfn, kind, 0)
+	return pfn, nil
+}
+
+// AllocFrames allocates a naturally aligned contiguous block of 2^order
+// frames (order 9 = 2 MiB huge page, order 18 = 1 GiB). Ref starts at 1
+// on the head frame.
+func (m *PhysMem) AllocFrames(core int, order int, kind Kind) (arch.PFN, error) {
+	if order == 0 {
+		return m.AllocFrame(core, kind)
+	}
+	pfn, ok := m.buddy.alloc(order)
+	if !ok {
+		return 0, ErrOutOfMemory
+	}
+	m.initFrame(pfn, kind, uint8(order))
+	return pfn, nil
+}
+
+func (m *PhysMem) initFrame(pfn arch.PFN, kind Kind, order uint8) {
+	d := &m.frames[pfn]
+	d.Kind = kind
+	d.Order = order
+	d.Ref.Store(1)
+	d.MapCount.Store(0)
+	d.PT = nil
+	d.RMap = RMapRef{}
+	d.data = nil
+	if kind == KindPT {
+		d.words = new([arch.PTEntries]uint64)
+	} else {
+		d.words = nil
+	}
+	for i := arch.PFN(1); i < 1<<order; i++ {
+		m.frames[pfn+i].tail = int64(pfn) + 1
+	}
+	m.kinds[kind].Add(1 << order)
+}
+
+// HeadOf resolves a frame inside a huge block to the block's head frame,
+// which carries the descriptor state (refcounts, kind, data).
+func (m *PhysMem) HeadOf(pfn arch.PFN) arch.PFN {
+	if t := m.frames[pfn].tail; t != 0 {
+		return arch.PFN(t - 1)
+	}
+	return pfn
+}
+
+// Get takes an additional reference on pfn.
+func (m *PhysMem) Get(pfn arch.PFN) {
+	if m.frames[pfn].Ref.Add(1) <= 1 {
+		panic("mem: Get on free frame")
+	}
+}
+
+// GetN takes n additional references on pfn at once (huge-page splits).
+func (m *PhysMem) GetN(pfn arch.PFN, n int64) {
+	if m.frames[pfn].Ref.Add(n) <= n {
+		panic("mem: GetN on free frame")
+	}
+}
+
+// Put drops a reference on pfn; the frame is freed when the count hits 0.
+func (m *PhysMem) Put(core int, pfn arch.PFN) {
+	d := &m.frames[pfn]
+	n := d.Ref.Add(-1)
+	switch {
+	case n > 0:
+		return
+	case n < 0:
+		panic("mem: Put on free frame")
+	}
+	order := int(d.Order)
+	m.kinds[d.Kind].Add(-(1 << order))
+	d.Kind = KindFree
+	d.PT = nil
+	d.RMap = RMapRef{}
+	d.words = nil
+	d.data = nil
+	for i := arch.PFN(1); i < 1<<order; i++ {
+		m.frames[pfn+i].tail = 0
+	}
+	if order == 0 {
+		if full := m.pcp[core].push(pfn); full != nil {
+			m.buddy.freeBatch(full)
+		}
+		return
+	}
+	m.buddy.free(pfn, order)
+}
+
+// Words returns the PTE array of a page-table frame.
+func (m *PhysMem) Words(pfn arch.PFN) *[arch.PTEntries]uint64 {
+	w := m.frames[pfn].words
+	if w == nil {
+		panic(fmt.Sprintf("mem: frame %#x is not a PT page", pfn))
+	}
+	return w
+}
+
+// Data returns the (lazily allocated) byte payload of a data frame. The
+// caller must hold a reference and, for writes, mapping-level exclusion.
+func (m *PhysMem) Data(pfn arch.PFN) []byte {
+	d := &m.frames[pfn]
+	if d.data == nil {
+		d.data = make([]byte, arch.PageSize<<d.Order)
+	}
+	return d.data
+}
+
+// DataPage returns the 4-KiB slice of the data payload corresponding to
+// pfn, resolving huge-block members through the head frame.
+func (m *PhysMem) DataPage(pfn arch.PFN) []byte {
+	head := m.HeadOf(pfn)
+	off := uint64(pfn-head) * arch.PageSize
+	data := m.Data(head)
+	return data[off : off+arch.PageSize]
+}
+
+// FreeFrames reports the number of free frames remaining.
+func (m *PhysMem) FreeFrames() uint64 { return m.buddy.freeCount() + m.pcpCached() }
+
+func (m *PhysMem) pcpCached() uint64 {
+	var n uint64
+	for i := range m.pcp {
+		n += uint64(m.pcp[i].len())
+	}
+	return n
+}
+
+// KindFrames returns the number of frames currently allocated as kind.
+func (m *PhysMem) KindFrames(kind Kind) int64 { return m.kinds[kind].Load() }
+
+// Stats summarizes physical-memory usage in bytes by kind.
+type Stats struct {
+	TotalBytes     uint64
+	FreeBytes      uint64
+	AnonBytes      uint64
+	FileBytes      uint64
+	PageTableBytes uint64
+	KernelBytes    uint64
+}
+
+// Stats returns a usage snapshot.
+func (m *PhysMem) Stats() Stats {
+	return Stats{
+		TotalBytes:     uint64(len(m.frames)) * arch.PageSize,
+		FreeBytes:      m.FreeFrames() * arch.PageSize,
+		AnonBytes:      uint64(m.kinds[KindAnon].Load()) * arch.PageSize,
+		FileBytes:      uint64(m.kinds[KindFile].Load()) * arch.PageSize,
+		PageTableBytes: uint64(m.kinds[KindPT].Load()) * arch.PageSize,
+		KernelBytes:    uint64(m.kinds[KindKernel].Load()) * arch.PageSize,
+	}
+}

@@ -1,0 +1,243 @@
+// Package pt implements the page-table layer of the simulated machine:
+// radix-tree page-table pages stored in physical frames, atomic PTE
+// access (the foundation of CortenMM_adv's lockless traversal), the
+// per-PTE metadata arrays that store virtual-page state the MMU cannot
+// hold (§3.3), a hardware page walker, and the Figure-12 well-formedness
+// checker.
+//
+// This package is mechanism only. Policy — which pages to lock, when a
+// PT page may be freed, how TLBs are shot down — lives in the memory
+// managers built on top (internal/core and the baselines).
+package pt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/locks"
+	"cortenmm/internal/mem"
+)
+
+// PageState is the PT-page part of a page descriptor (§3.3): the lock
+// protecting the descriptor, the PT page and its metadata array, plus the
+// protocol state CortenMM_adv needs (the stale flag of Figure 6).
+type PageState struct {
+	// Level of this PT page: 1 = leaf table, arch.Levels = root.
+	Level int8
+	// Stale is set (under Mu) when the page has been unlinked from its
+	// parent; lockers observing it must retry from the root (Fig 6 L10).
+	Stale atomic.Bool
+	// Mu is the exclusive PT-page lock used by CortenMM_adv.
+	Mu locks.MCS
+	// RW is the readers-writer PT-page lock used by CortenMM_rw
+	// (BRAVO-pfqlock); nil when the tree was built without it.
+	RW locks.RWLock
+
+	// The fields below are protected by the page's lock.
+
+	// Meta is the per-PTE metadata array, allocated on demand and freed
+	// with the PT page.
+	Meta *MetaArray
+	// Present counts present PTEs in this page.
+	Present int32
+	// MetaCnt counts non-invalid metadata entries.
+	MetaCnt int32
+}
+
+// metaArrayBytes is the allocation size charged per metadata array.
+const metaArrayBytes = int64(unsafe.Sizeof(Status{})) * arch.PTEntries
+
+// Tree is one page table: a root PT page plus the machinery to allocate,
+// address and account for PT pages and their metadata arrays.
+type Tree struct {
+	Phys *mem.PhysMem
+	ISA  arch.ISA
+	// Cores sizes the BRAVO visible-reader tables.
+	Cores int
+	// WithRW allocates readers-writer locks on every PT page, as
+	// CortenMM_rw requires.
+	WithRW bool
+	// Root is the PFN of the root PT page (level arch.Levels).
+	Root arch.PFN
+
+	// MetaBytes tracks bytes held by metadata arrays (Fig 22 accounting).
+	MetaBytes atomic.Int64
+	// PTPageCount tracks live PT pages in this tree.
+	PTPageCount atomic.Int64
+}
+
+// NewTree allocates an empty page table on phys.
+func NewTree(phys *mem.PhysMem, isa arch.ISA, cores int, withRW bool) (*Tree, error) {
+	t := &Tree{Phys: phys, ISA: isa, Cores: cores, WithRW: withRW}
+	root, err := t.AllocPTPage(0, arch.Levels)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = root
+	return t, nil
+}
+
+// AllocPTPage allocates a PT page of the given level with a fresh
+// PageState installed in its descriptor.
+func (t *Tree) AllocPTPage(core, level int) (arch.PFN, error) {
+	pfn, err := t.Phys.AllocFrame(core, mem.KindPT)
+	if err != nil {
+		return 0, err
+	}
+	st := &PageState{Level: int8(level)}
+	if t.WithRW {
+		st.RW = locks.NewBRAVO(new(locks.PhaseFair), t.Cores)
+	}
+	t.Phys.Desc(pfn).PT = st
+	t.PTPageCount.Add(1)
+	return pfn, nil
+}
+
+// ReleasePTPage frees a PT page (which must be empty and exclusively
+// owned or RCU-quarantined) and its metadata array.
+func (t *Tree) ReleasePTPage(core int, pfn arch.PFN) {
+	st := t.State(pfn)
+	if st.Meta != nil {
+		st.Meta = nil
+		t.MetaBytes.Add(-metaArrayBytes)
+	}
+	t.PTPageCount.Add(-1)
+	t.Phys.Put(core, pfn)
+}
+
+// State returns the PT-page state of pfn.
+func (t *Tree) State(pfn arch.PFN) *PageState {
+	return t.Phys.Desc(pfn).PT.(*PageState)
+}
+
+// Words returns the PTE array of PT page pfn.
+func (t *Tree) Words(pfn arch.PFN) *[arch.PTEntries]uint64 {
+	return t.Phys.Words(pfn)
+}
+
+// LoadPTE atomically reads entry idx of PT page pfn. Safe without locks;
+// this is what both the hardware walker and the CortenMM_adv traversal
+// phase use.
+func (t *Tree) LoadPTE(pfn arch.PFN, idx int) uint64 {
+	return atomic.LoadUint64(&t.Words(pfn)[idx])
+}
+
+// StorePTE atomically writes entry idx of PT page pfn without touching
+// the Present count. Only for callers that maintain counts themselves.
+func (t *Tree) StorePTE(pfn arch.PFN, idx int, pte uint64) {
+	atomic.StoreUint64(&t.Words(pfn)[idx], pte)
+}
+
+// CASPTE atomically replaces entry idx if it still holds old.
+func (t *Tree) CASPTE(pfn arch.PFN, idx int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.Words(pfn)[idx], old, new)
+}
+
+// SetPTE writes entry idx while maintaining the page's Present count.
+// The caller must hold the page's lock. Returns the previous entry.
+func (t *Tree) SetPTE(pfn arch.PFN, idx int, pte uint64) uint64 {
+	st := t.State(pfn)
+	old := atomic.LoadUint64(&t.Words(pfn)[idx])
+	atomic.StoreUint64(&t.Words(pfn)[idx], pte)
+	wasPresent := t.ISA.IsPresent(old)
+	isPresent := t.ISA.IsPresent(pte)
+	switch {
+	case isPresent && !wasPresent:
+		st.Present++
+	case !isPresent && wasPresent:
+		st.Present--
+	}
+	return old
+}
+
+// EnsureMeta returns the page's metadata array, allocating it on demand.
+// The caller must hold the page's lock.
+func (t *Tree) EnsureMeta(pfn arch.PFN) *MetaArray {
+	st := t.State(pfn)
+	if st.Meta == nil {
+		st.Meta = new(MetaArray)
+		t.MetaBytes.Add(metaArrayBytes)
+	}
+	return st.Meta
+}
+
+// SetMeta stores the status for entry idx, maintaining MetaCnt. The
+// caller must hold the page's lock.
+func (t *Tree) SetMeta(pfn arch.PFN, idx int, s Status) {
+	st := t.State(pfn)
+	if s.Kind == StatusInvalid && st.Meta == nil {
+		return
+	}
+	meta := t.EnsureMeta(pfn)
+	old := meta[idx].Kind
+	meta[idx] = s
+	switch {
+	case s.Kind != StatusInvalid && old == StatusInvalid:
+		st.MetaCnt++
+	case s.Kind == StatusInvalid && old != StatusInvalid:
+		st.MetaCnt--
+	}
+}
+
+// GetMeta reads the status of entry idx. The caller must hold the page's
+// lock (or otherwise exclude writers).
+func (t *Tree) GetMeta(pfn arch.PFN, idx int) Status {
+	st := t.State(pfn)
+	if st.Meta == nil {
+		return Status{}
+	}
+	return st.Meta[idx]
+}
+
+// Empty reports whether the page has no present PTEs and no metadata.
+// The caller must hold the page's lock.
+func (t *Tree) Empty(pfn arch.PFN) bool {
+	st := t.State(pfn)
+	return st.Present == 0 && st.MetaCnt == 0
+}
+
+// Destroy frees the entire tree, dropping references of mapped data
+// frames through release and surviving metadata entries through
+// releaseMeta (swap blocks, file spans). Exclusive access required
+// (address-space teardown); either callback may be nil.
+func (t *Tree) Destroy(core int, release func(pte uint64, level int), releaseMeta ...func(Status)) {
+	var rm func(Status)
+	if len(releaseMeta) > 0 {
+		rm = releaseMeta[0]
+	}
+	t.destroyPage(core, t.Root, arch.Levels, release, rm)
+}
+
+func (t *Tree) destroyPage(core int, pfn arch.PFN, level int, release func(uint64, int), releaseMeta func(Status)) {
+	words := t.Words(pfn)
+	if releaseMeta != nil {
+		if st := t.State(pfn); st.Meta != nil {
+			for i := range st.Meta {
+				if st.Meta[i].Kind != StatusInvalid {
+					releaseMeta(st.Meta[i])
+				}
+			}
+		}
+	}
+	for i := 0; i < arch.PTEntries; i++ {
+		pte := atomic.LoadUint64(&words[i])
+		if !t.ISA.IsPresent(pte) {
+			continue
+		}
+		if t.ISA.IsLeaf(pte, level) {
+			if release != nil {
+				release(pte, level)
+			}
+			continue
+		}
+		t.destroyPage(core, t.ISA.PFNOf(pte), level-1, release, releaseMeta)
+	}
+	t.ReleasePTPage(core, pfn)
+}
+
+// String describes the tree briefly.
+func (t *Tree) String() string {
+	return fmt.Sprintf("pt.Tree{%s, root=%#x, pages=%d}", t.ISA.Name(), t.Root, t.PTPageCount.Load())
+}

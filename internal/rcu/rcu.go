@@ -1,0 +1,179 @@
+// Package rcu implements epoch-based read-copy-update for the simulated
+// kernel. CortenMM_adv performs its lockless page-table traversal inside a
+// read-side critical section and frees removed PT pages through the "RCU
+// monitor" (§4.1, Figure 6): a deferred-free list whose entries are only
+// reclaimed once no reader that could have observed the page remains in
+// its critical section.
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// slot is a cache-line-padded per-core reader state word: 0 when the core
+// is quiescent, otherwise the epoch observed at entry with bit 0 set.
+type slot struct {
+	state atomic.Uint64
+	nest  atomic.Int32 // read-section nesting depth (one goroutine per core)
+	_     [48]byte
+}
+
+// callback is one deferred function with the epoch at which it was queued.
+type callback struct {
+	epoch uint64
+	fn    func()
+}
+
+// Domain is an independent RCU domain, the analog of a kernel's global
+// RCU state. All epochs are even; a reader's slot holds epoch|1.
+type Domain struct {
+	epoch atomic.Uint64
+	slots []slot
+
+	mu       sync.Mutex
+	pending  []callback
+	deferred atomic.Uint64 // stats: callbacks queued
+	freed    atomic.Uint64 // stats: callbacks run
+	graces   atomic.Uint64 // stats: synchronize() grace periods
+}
+
+// NewDomain creates an RCU domain for the given number of cores.
+func NewDomain(cores int) *Domain {
+	d := &Domain{slots: make([]slot, cores)}
+	d.epoch.Store(2)
+	return d
+}
+
+// ReadLock enters a read-side critical section on core. Sections nest.
+func (d *Domain) ReadLock(core int) {
+	s := &d.slots[core]
+	if s.nest.Add(1) == 1 {
+		s.state.Store(d.epoch.Load() | 1)
+	}
+}
+
+// ReadUnlock leaves the read-side critical section on core.
+func (d *Domain) ReadUnlock(core int) {
+	s := &d.slots[core]
+	n := s.nest.Add(-1)
+	if n == 0 {
+		s.state.Store(0)
+	} else if n < 0 {
+		panic("rcu: unbalanced ReadUnlock")
+	}
+}
+
+// InReader reports whether core is currently inside a read section.
+func (d *Domain) InReader(core int) bool { return d.slots[core].nest.Load() > 0 }
+
+// Defer queues fn to run once every reader that might hold a reference
+// to the protected object has left its critical section. This is the RCU
+// monitor: CortenMM_adv pushes removed PT pages here (rcu_delay_free).
+func (d *Domain) Defer(fn func()) {
+	e := d.epoch.Add(2)
+	d.deferred.Add(1)
+	d.mu.Lock()
+	d.pending = append(d.pending, callback{epoch: e - 2, fn: fn})
+	n := len(d.pending)
+	d.mu.Unlock()
+	if n >= 32 {
+		d.Poll()
+	}
+}
+
+// minReaderEpoch returns the oldest epoch any active reader entered at,
+// or ^0 if no reader is active.
+func (d *Domain) minReaderEpoch() uint64 {
+	min := ^uint64(0)
+	for i := range d.slots {
+		st := d.slots[i].state.Load()
+		if st == 0 {
+			continue
+		}
+		if e := st &^ 1; e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// Poll runs every deferred callback whose grace period has elapsed. The
+// simulated timer tick calls this, mirroring kernel RCU's softirq.
+func (d *Domain) Poll() {
+	min := d.minReaderEpoch()
+	var ready []callback
+	d.mu.Lock()
+	keep := d.pending[:0]
+	for _, cb := range d.pending {
+		// A reader that entered at epoch <= cb.epoch may still see the
+		// object; it is safe only when every active reader is newer.
+		if cb.epoch < min {
+			ready = append(ready, cb)
+		} else {
+			keep = append(keep, cb)
+		}
+	}
+	d.pending = keep
+	d.mu.Unlock()
+	for _, cb := range ready {
+		cb.fn()
+		d.freed.Add(1)
+	}
+}
+
+// Synchronize blocks until a full grace period has elapsed: every reader
+// active at the time of the call has exited its critical section.
+func (d *Domain) Synchronize() {
+	target := d.epoch.Add(2)
+	for {
+		ok := true
+		for i := range d.slots {
+			st := d.slots[i].state.Load()
+			if st != 0 && st&^1 < target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	d.graces.Add(1)
+	d.Poll()
+}
+
+// Barrier waits for all currently queued callbacks to run.
+func (d *Domain) Barrier() {
+	d.Synchronize()
+	for {
+		d.mu.Lock()
+		n := len(d.pending)
+		d.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		d.Poll()
+	}
+}
+
+// Stats reports cumulative domain statistics.
+type Stats struct {
+	Deferred uint64 // callbacks queued via Defer
+	Freed    uint64 // callbacks executed
+	Pending  int    // callbacks still waiting for a grace period
+	Graces   uint64 // explicit Synchronize grace periods
+}
+
+// Stats returns a snapshot of the domain's counters.
+func (d *Domain) Stats() Stats {
+	d.mu.Lock()
+	pending := len(d.pending)
+	d.mu.Unlock()
+	return Stats{
+		Deferred: d.deferred.Load(),
+		Freed:    d.freed.Load(),
+		Pending:  pending,
+		Graces:   d.graces.Load(),
+	}
+}

@@ -1,0 +1,234 @@
+package spec
+
+import "fmt"
+
+// This file models CortenMM_rw *dynamically*: unlike RWModel (which
+// precomputes lock paths over a static tree), cores here discover their
+// covering page by reading child links while holding reader locks, and
+// an unmapper core removes and immediately frees a PT page — no RCU,
+// no stale marks. The paper argues this is safe for the rw protocol
+// because a traverser holds the reader lock on the parent while reading
+// the child link, which blocks the (writer-locked) removal. The checker
+// verifies exactly that: with the protocol intact there is no
+// use-after-free; with the reader locks skipped (the seeded bug) there
+// is.
+
+// Core phases of the dynamic rw model.
+const (
+	rdStart = iota
+	rdDescend
+	rdUpgrade
+	rdCS
+	rdRelease
+	rdDone
+)
+
+// rdCore: the core holds reader locks on every path page strictly above
+// Cur, plus Cur itself when CurLocked (None of this applies when the
+// SkipReadLocks bug is enabled.)
+type rdCore struct {
+	PC        uint8
+	Cur       int8
+	CurLocked bool
+}
+
+type rdState struct {
+	Linked  [maxPages]bool
+	Freed   [maxPages]bool
+	Readers [maxPages]uint8
+	Writer  [maxPages]int8
+	Cores   [maxCores]rdCore
+	Bad     string
+}
+
+// Key implements State.
+func (s rdState) Key() string {
+	return fmt.Sprintf("%v%v%v%v%v%s", s.Linked, s.Freed, s.Readers, s.Writer, s.Cores, s.Bad)
+}
+
+// RWDynModel is the dynamic CortenMM_rw model with PT-page removal and
+// immediate (non-RCU) free.
+type RWDynModel struct {
+	Topo    *Topology
+	Targets []int
+	Roles   []Role
+	// UnmapChild is the page the unmapper removes and frees at once; it
+	// must be a child of the unmapper's target.
+	UnmapChild int
+	// SkipReadLocks seeds the bug: traversal reads links without
+	// holding reader locks, making the immediate free unsound.
+	SkipReadLocks bool
+}
+
+// Init implements Machine.
+func (m *RWDynModel) Init() State {
+	var s rdState
+	for p := 0; p < m.Topo.N; p++ {
+		s.Linked[p] = true
+		s.Writer[p] = -1
+	}
+	for p := m.Topo.N; p < maxPages; p++ {
+		s.Writer[p] = -1
+	}
+	for c := range s.Cores {
+		s.Cores[c].Cur = -1
+	}
+	return s
+}
+
+// Next implements Machine.
+func (m *RWDynModel) Next(st State) []Step {
+	s := st.(rdState)
+	if s.Bad != "" {
+		return nil
+	}
+	var out []Step
+	for c := range m.Targets {
+		core := s.Cores[c]
+		path := m.Topo.PathTo(m.Targets[c])
+		switch core.PC {
+		case rdStart:
+			n := s
+			n.Cores[c].Cur = 0
+			n.Cores[c].CurLocked = false
+			n.Cores[c].PC = rdDescend
+			out = append(out, Step{fmt.Sprintf("c%d:start", c), n})
+
+		case rdDescend:
+			cur := int(core.Cur)
+			if s.Freed[cur] {
+				n := s
+				n.Bad = fmt.Sprintf("core %d touches freed PT page %d during descent (use-after-free)", c, cur)
+				out = append(out, Step{fmt.Sprintf("c%d:uaf(%d)", c, cur), n})
+				break
+			}
+			if !core.CurLocked {
+				// Acquire the reader lock on cur (Fig 5 L4); blocked
+				// while a writer holds it. The buggy variant skips the
+				// lock but still takes the step.
+				if m.SkipReadLocks {
+					n := s
+					n.Cores[c].CurLocked = true
+					out = append(out, Step{fmt.Sprintf("c%d:noLock(%d)", c, cur), n})
+				} else if s.Writer[cur] == -1 {
+					n := s
+					n.Readers[cur]++
+					n.Cores[c].CurLocked = true
+					out = append(out, Step{fmt.Sprintf("c%d:rlock(%d)", c, cur), n})
+				}
+				break
+			}
+			if cur == m.Targets[c] {
+				n := s
+				n.Cores[c].PC = rdUpgrade
+				out = append(out, Step{fmt.Sprintf("c%d:stop(%d)", c, cur), n})
+				break
+			}
+			next := path[m.Topo.Depth[cur]+1]
+			n := s
+			if s.Linked[next] {
+				// Holding cur's reader lock, read the link and move on;
+				// cur's lock stays held (it is now an ancestor).
+				n.Cores[c].Cur = int8(next)
+				n.Cores[c].CurLocked = false
+				out = append(out, Step{fmt.Sprintf("c%d:read(%d)", c, next), n})
+			} else {
+				// Child gone: cur is the covering page.
+				n.Cores[c].PC = rdUpgrade
+				out = append(out, Step{fmt.Sprintf("c%d:cover(%d)", c, cur), n})
+			}
+
+		case rdUpgrade:
+			cur := int(core.Cur)
+			if s.Freed[cur] {
+				n := s
+				n.Bad = fmt.Sprintf("core %d write-locks freed PT page %d (use-after-free)", c, cur)
+				out = append(out, Step{fmt.Sprintf("c%d:uaf_wlock(%d)", c, cur), n})
+				break
+			}
+			if core.CurLocked {
+				// Fig 5 L7: drop the reader lock before upgrading — the
+				// benign gap discussed in §4.1.
+				n := s
+				if !m.SkipReadLocks {
+					n.Readers[cur]--
+				}
+				n.Cores[c].CurLocked = false
+				out = append(out, Step{fmt.Sprintf("c%d:runlock(%d)", c, cur), n})
+				break
+			}
+			if s.Writer[cur] == -1 && s.Readers[cur] == 0 {
+				n := s
+				n.Writer[cur] = int8(c)
+				n.Cores[c].PC = rdCS
+				out = append(out, Step{fmt.Sprintf("c%d:wlock(%d)", c, cur), n})
+			}
+
+		case rdCS:
+			cur := int(core.Cur)
+			n := s
+			if m.Roles[c] == RoleUnmapper && s.Linked[m.UnmapChild] &&
+				m.Topo.Parent[m.UnmapChild] == cur {
+				// Remove the child and free it IMMEDIATELY — no grace
+				// period. Sound only because link readers hold the
+				// parent's reader lock, which our writer lock excludes.
+				n.Linked[m.UnmapChild] = false
+				n.Freed[m.UnmapChild] = true
+				n.Cores[c].PC = rdRelease
+				out = append(out, Step{fmt.Sprintf("c%d:unmap_free(%d)", c, m.UnmapChild), n})
+				break
+			}
+			n.Cores[c].PC = rdRelease
+			out = append(out, Step{fmt.Sprintf("c%d:body", c), n})
+
+		case rdRelease:
+			n := s
+			n.Writer[int(core.Cur)] = -1
+			if !m.SkipReadLocks {
+				for _, p := range path {
+					if p == int(core.Cur) {
+						break
+					}
+					n.Readers[p]--
+				}
+			}
+			n.Cores[c].PC = rdDone
+			out = append(out, Step{fmt.Sprintf("c%d:unlock_all", c), n})
+		}
+	}
+	return out
+}
+
+// Check implements Machine: UAF flags raised by transitions plus the
+// non-overlap property for writer locks.
+func (m *RWDynModel) Check(st State) error {
+	s := st.(rdState)
+	if s.Bad != "" {
+		return fmt.Errorf("spec: %s", s.Bad)
+	}
+	for a := 0; a < maxPages; a++ {
+		if s.Writer[a] == -1 {
+			continue
+		}
+		for b := a + 1; b < maxPages; b++ {
+			if s.Writer[b] == -1 || s.Writer[a] == s.Writer[b] {
+				continue
+			}
+			if m.Topo.Overlapping(a, b) {
+				return fmt.Errorf("spec: overlapping write locks %d and %d", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// Done implements Machine.
+func (m *RWDynModel) Done(st State) bool {
+	s := st.(rdState)
+	for c := range m.Targets {
+		if s.Cores[c].PC != rdDone {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package spec
+
+import (
+	"fmt"
+)
+
+// Model-size bounds: 3 cores on a 3-level binary tree (7 pages) already
+// exercises every interesting interleaving class.
+const (
+	maxCores = 3
+	maxPages = 15
+)
+
+// rwCore phases.
+const (
+	rwLocking = iota // acquiring read locks down the path, then the write lock
+	rwCS             // write lock held: transaction body
+	rwDone
+)
+
+type rwCore struct {
+	PC   uint8
+	Step uint8 // locks acquired so far along the path
+	Rel  uint8 // locks released so far (stepwise unlock mode)
+}
+
+// rwState is one global state of the CortenMM_rw model: per-page lock
+// state (the Atomic Tree Spec's Unlocked/ReadLocked/WriteLocked) plus
+// per-core protocol state (Void/ReadLocking/WriteLocked with its path).
+type rwState struct {
+	Readers [maxPages]uint8
+	Writer  [maxPages]int8 // holding core, or -1
+	Cores   [maxCores]rwCore
+}
+
+// Key implements State.
+func (s rwState) Key() string { return fmt.Sprintf("%v%v%v", s.Readers, s.Writer, s.Cores) }
+
+// RWModel is the CortenMM_rw locking protocol (Figure 5) on a small
+// topology: each core read-locks the PT pages from the root down to its
+// covering page's parent, then write-locks the covering page.
+type RWModel struct {
+	Topo *Topology
+	// Targets[c] is core c's covering PT page (its locked range).
+	Targets []int
+	// SkipReadLocks seeds the protocol bug the checker must catch: the
+	// ancestor read locks are omitted, so a writer on an ancestor no
+	// longer conflicts with a writer below it.
+	SkipReadLocks bool
+	// StepwiseUnlock releases one lock per transition (in the reverse
+	// order of acquisition, as the paper's Drop does) instead of all at
+	// once, exposing the mid-release interleavings to the checker.
+	StepwiseUnlock bool
+}
+
+func (m *RWModel) path(c int) []int {
+	p := m.Topo.PathTo(m.Targets[c])
+	if m.SkipReadLocks {
+		return []int{m.Targets[c]}
+	}
+	return p
+}
+
+// Init implements Machine.
+func (m *RWModel) Init() State {
+	var s rwState
+	for i := range s.Writer {
+		s.Writer[i] = -1
+	}
+	return s
+}
+
+// Next implements Machine.
+func (m *RWModel) Next(st State) []Step {
+	s := st.(rwState)
+	var out []Step
+	for c := range m.Targets {
+		core := s.Cores[c]
+		switch core.PC {
+		case rwLocking:
+			path := m.path(c)
+			k := int(core.Step)
+			if k < len(path)-1 {
+				// Reader-lock the next page down (Fig 5 L4): enabled
+				// while no writer holds it.
+				p := path[k]
+				if s.Writer[p] == -1 {
+					n := s
+					n.Readers[p]++
+					n.Cores[c].Step++
+					out = append(out, Step{fmt.Sprintf("c%d:rlock(%d)", c, p), n})
+				}
+			} else {
+				// Writer-lock the covering page (Fig 5 L8).
+				p := path[k]
+				if s.Writer[p] == -1 && s.Readers[p] == 0 {
+					n := s
+					n.Writer[p] = int8(c)
+					n.Cores[c].PC = rwCS
+					out = append(out, Step{fmt.Sprintf("c%d:wlock(%d)", c, p), n})
+				}
+			}
+		case rwCS:
+			path := m.path(c)
+			if !m.StepwiseUnlock {
+				// Release everything in one step (release order cannot
+				// affect safety, which the stepwise mode demonstrates).
+				n := s
+				for _, p := range path[:len(path)-1] {
+					n.Readers[p]--
+				}
+				n.Writer[m.Targets[c]] = -1
+				n.Cores[c].PC = rwDone
+				out = append(out, Step{fmt.Sprintf("c%d:unlock", c), n})
+				break
+			}
+			// Reverse acquisition order: the write lock first, then the
+			// read locks from deepest ancestor to the root.
+			n := s
+			rel := int(core.Rel)
+			if rel == 0 {
+				n.Writer[m.Targets[c]] = -1
+				n.Cores[c].Rel++
+				out = append(out, Step{fmt.Sprintf("c%d:wunlock", c), n})
+				break
+			}
+			if idx := len(path) - 1 - rel; idx >= 0 {
+				n.Readers[path[idx]]--
+				n.Cores[c].Rel++
+				out = append(out, Step{fmt.Sprintf("c%d:runlock(%d)", c, path[idx]), n})
+				break
+			}
+			n.Cores[c].PC = rwDone
+			out = append(out, Step{fmt.Sprintf("c%d:done", c), n})
+		}
+	}
+	return out
+}
+
+// Check implements Machine: the Atomic Tree Spec's non-overlapping
+// property — write-locked covering pages of two cores never stand in an
+// ancestor-descendant (or equal) relationship.
+func (m *RWModel) Check(st State) error {
+	s := st.(rwState)
+	for a := 0; a < maxPages; a++ {
+		if s.Writer[a] == -1 {
+			continue
+		}
+		for b := a + 1; b < maxPages; b++ {
+			if s.Writer[b] == -1 || s.Writer[a] == s.Writer[b] {
+				continue
+			}
+			if m.Topo.Overlapping(a, b) {
+				return fmt.Errorf("spec: cores %d and %d write-lock overlapping pages %d and %d",
+					s.Writer[a], s.Writer[b], a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// Done implements Machine.
+func (m *RWModel) Done(st State) bool {
+	s := st.(rwState)
+	for c := range m.Targets {
+		if s.Cores[c].PC != rwDone {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,318 @@
+// Package tlb simulates per-core translation lookaside buffers and the
+// TLB-shootdown protocols CortenMM uses (§4.5): synchronous IPI
+// broadcast, parallel flush with early acknowledgement (Amit et al.,
+// EuroSys'20), and LATR-style lazy shootdown where unmap pushes the
+// stale translations into a per-CPU buffer that every core drains on its
+// timer tick (Kumar et al., ASPLOS'18).
+package tlb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/pt"
+)
+
+// Mode selects the shootdown protocol.
+type Mode uint8
+
+const (
+	// ModeSync broadcasts IPIs and waits for every core to invalidate.
+	ModeSync Mode = iota
+	// ModeEarlyAck posts invalidation requests to per-core mailboxes and
+	// returns without waiting; targets drain on their next TLB access.
+	ModeEarlyAck
+	// ModeLATR queues invalidations in the initiator's per-CPU buffer;
+	// all cores sweep all buffers on timer ticks.
+	ModeLATR
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeEarlyAck:
+		return "early-ack"
+	case ModeLATR:
+		return "latr"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ASID identifies an address space in TLB tags.
+type ASID uint32
+
+type key struct {
+	asid ASID
+	va   arch.Vaddr
+}
+
+// tlbCapacity bounds each core's TLB; overflowing flushes it, a crude
+// but sufficient model of capacity eviction.
+const tlbCapacity = 4096
+
+// coreTLB is one core's TLB plus its shootdown mailboxes.
+type coreTLB struct {
+	mu      sync.Mutex
+	entries map[key]pt.Translation
+	gen     uint64 // bumped on full flush
+
+	// inbox holds early-ack invalidation requests posted by other cores.
+	inboxMu sync.Mutex
+	inbox   []Invalidation
+
+	// latrBuf is this core's LATR buffer of invalidations it initiated.
+	latrMu  sync.Mutex
+	latrBuf []Invalidation
+
+	_ [32]byte
+}
+
+// Invalidation is one pending shootdown request.
+type Invalidation struct {
+	ASID ASID
+	// VA is the page to invalidate; All=true invalidates the whole ASID.
+	VA  arch.Vaddr
+	All bool
+}
+
+// Machine is the TLB hardware of the whole simulated machine.
+type Machine struct {
+	mode  Mode
+	cores []coreTLB
+
+	// Stats (cumulative, atomic).
+	lookups    atomic.Uint64
+	hits       atomic.Uint64
+	shootdowns atomic.Uint64 // shootdown events initiated
+	ipis       atomic.Uint64 // synchronous per-target interrupts
+	deferred   atomic.Uint64 // invalidations queued rather than applied
+}
+
+// NewMachine creates TLBs for the given core count and protocol.
+func NewMachine(cores int, mode Mode) *Machine {
+	m := &Machine{mode: mode, cores: make([]coreTLB, cores)}
+	for i := range m.cores {
+		m.cores[i].entries = make(map[key]pt.Translation, 64)
+	}
+	return m
+}
+
+// Mode returns the configured shootdown protocol.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// Lookup consults core's TLB for (asid, va). Early-ack mailboxes are
+// drained first, modelling the interrupt arriving before the access.
+func (m *Machine) Lookup(core int, asid ASID, va arch.Vaddr) (pt.Translation, bool) {
+	c := &m.cores[core]
+	m.drainInbox(c)
+	m.lookups.Add(1)
+	c.mu.Lock()
+	tr, ok := c.entries[key{asid, va}]
+	c.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+	}
+	return tr, ok
+}
+
+// Insert caches a translation in core's TLB.
+func (m *Machine) Insert(core int, asid ASID, va arch.Vaddr, tr pt.Translation) {
+	c := &m.cores[core]
+	c.mu.Lock()
+	if len(c.entries) >= tlbCapacity {
+		clear(c.entries)
+		c.gen++
+	}
+	c.entries[key{asid, va}] = tr
+	c.mu.Unlock()
+}
+
+// FlushLocal removes (asid, va) from core's own TLB.
+func (m *Machine) FlushLocal(core int, asid ASID, va arch.Vaddr) {
+	c := &m.cores[core]
+	c.mu.Lock()
+	delete(c.entries, key{asid, va})
+	c.mu.Unlock()
+}
+
+// FlushLocalAll removes all of asid's entries from core's own TLB.
+func (m *Machine) FlushLocalAll(core int, asid ASID) {
+	m.apply(&m.cores[core], Invalidation{ASID: asid, All: true})
+}
+
+func (m *Machine) apply(c *coreTLB, inv Invalidation) {
+	c.mu.Lock()
+	if inv.All {
+		for k := range c.entries {
+			if k.asid == inv.ASID {
+				delete(c.entries, k)
+			}
+		}
+	} else {
+		delete(c.entries, key{inv.ASID, inv.VA})
+	}
+	c.mu.Unlock()
+}
+
+// Shootdown invalidates the given pages of asid on every core, using the
+// configured protocol. initiator's own TLB is always flushed immediately.
+func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
+	m.shootdowns.Add(1)
+	invs := make([]Invalidation, len(vas))
+	for i, va := range vas {
+		invs[i] = Invalidation{ASID: asid, VA: va}
+	}
+	m.shoot(initiator, invs)
+}
+
+// ShootdownAll invalidates every entry of asid on every core (used for
+// address-space teardown and fork).
+func (m *Machine) ShootdownAll(initiator int, asid ASID) {
+	m.shootdowns.Add(1)
+	m.shoot(initiator, []Invalidation{{ASID: asid, All: true}})
+}
+
+// ShootdownSync invalidates pages on every core immediately regardless
+// of the configured protocol. Permission tightenings (COW on fork,
+// mprotect) must not be deferred — LATR's laziness applies only to unmap
+// (§4.5) — so they use this path.
+func (m *Machine) ShootdownSync(initiator int, asid ASID, vas []arch.Vaddr) {
+	m.shootdowns.Add(1)
+	for i := range m.cores {
+		if i != initiator {
+			m.ipis.Add(1)
+		}
+		for _, va := range vas {
+			m.apply(&m.cores[i], Invalidation{ASID: asid, VA: va})
+		}
+	}
+}
+
+// ShootdownAllSync invalidates the whole ASID everywhere immediately.
+func (m *Machine) ShootdownAllSync(initiator int, asid ASID) {
+	m.shootdowns.Add(1)
+	for i := range m.cores {
+		if i != initiator {
+			m.ipis.Add(1)
+		}
+		m.apply(&m.cores[i], Invalidation{ASID: asid, All: true})
+	}
+}
+
+func (m *Machine) shoot(initiator int, invs []Invalidation) {
+	self := &m.cores[initiator]
+	for _, inv := range invs {
+		m.apply(self, inv)
+	}
+	switch m.mode {
+	case ModeSync:
+		for i := range m.cores {
+			if i == initiator {
+				continue
+			}
+			m.ipis.Add(1)
+			for _, inv := range invs {
+				m.apply(&m.cores[i], inv)
+			}
+		}
+	case ModeEarlyAck:
+		for i := range m.cores {
+			if i == initiator {
+				continue
+			}
+			c := &m.cores[i]
+			c.inboxMu.Lock()
+			c.inbox = append(c.inbox, invs...)
+			c.inboxMu.Unlock()
+			m.deferred.Add(uint64(len(invs)))
+		}
+	case ModeLATR:
+		self.latrMu.Lock()
+		self.latrBuf = append(self.latrBuf, invs...)
+		self.latrMu.Unlock()
+		m.deferred.Add(uint64(len(invs)))
+	}
+}
+
+func (m *Machine) drainInbox(c *coreTLB) {
+	if m.mode != ModeEarlyAck {
+		return
+	}
+	c.inboxMu.Lock()
+	if len(c.inbox) == 0 {
+		c.inboxMu.Unlock()
+		return
+	}
+	pending := c.inbox
+	c.inbox = nil
+	c.inboxMu.Unlock()
+	for _, inv := range pending {
+		m.apply(c, inv)
+	}
+}
+
+// Tick is the core's timer interrupt: under LATR it sweeps every core's
+// buffer and applies the invalidations to its own TLB; the initiator's
+// buffer is cleared once all cores have swept it. For simplicity a
+// buffer entry is applied to all cores synchronously by the first
+// sweeper on behalf of everyone — matching LATR's bounded staleness of
+// one tick period.
+func (m *Machine) Tick(core int) {
+	if m.mode != ModeLATR {
+		m.drainInbox(&m.cores[core])
+		return
+	}
+	for i := range m.cores {
+		src := &m.cores[i]
+		src.latrMu.Lock()
+		pending := src.latrBuf
+		src.latrBuf = nil
+		src.latrMu.Unlock()
+		for _, inv := range pending {
+			for j := range m.cores {
+				m.apply(&m.cores[j], inv)
+			}
+		}
+	}
+}
+
+// PendingInvalidations reports queued-but-unapplied invalidations
+// (early-ack inboxes plus LATR buffers) for testing the protocols'
+// staleness bounds.
+func (m *Machine) PendingInvalidations() int {
+	n := 0
+	for i := range m.cores {
+		c := &m.cores[i]
+		c.inboxMu.Lock()
+		n += len(c.inbox)
+		c.inboxMu.Unlock()
+		c.latrMu.Lock()
+		n += len(c.latrBuf)
+		c.latrMu.Unlock()
+	}
+	return n
+}
+
+// Stats is a snapshot of TLB activity.
+type Stats struct {
+	Lookups    uint64
+	Hits       uint64
+	Shootdowns uint64
+	IPIs       uint64
+	Deferred   uint64
+}
+
+// Stats returns cumulative counters.
+func (m *Machine) Stats() Stats {
+	return Stats{
+		Lookups:    m.lookups.Load(),
+		Hits:       m.hits.Load(),
+		Shootdowns: m.shootdowns.Load(),
+		IPIs:       m.ipis.Load(),
+		Deferred:   m.deferred.Load(),
+	}
+}

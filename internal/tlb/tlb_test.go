@@ -1,0 +1,173 @@
+package tlb
+
+import (
+	"sync"
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/pt"
+)
+
+func tr(pfn arch.PFN) pt.Translation {
+	return pt.Translation{PFN: pfn, Perm: arch.PermRW, Level: 1}
+}
+
+func TestInsertLookupFlush(t *testing.T) {
+	m := NewMachine(2, ModeSync)
+	if _, ok := m.Lookup(0, 1, 0x1000); ok {
+		t.Fatal("hit in empty TLB")
+	}
+	m.Insert(0, 1, 0x1000, tr(7))
+	got, ok := m.Lookup(0, 1, 0x1000)
+	if !ok || got.PFN != 7 {
+		t.Fatalf("lookup = %+v ok=%v", got, ok)
+	}
+	// ASIDs are independent tags.
+	if _, ok := m.Lookup(0, 2, 0x1000); ok {
+		t.Fatal("cross-ASID hit")
+	}
+	// Other core's TLB is independent.
+	if _, ok := m.Lookup(1, 1, 0x1000); ok {
+		t.Fatal("cross-core hit")
+	}
+	m.FlushLocal(0, 1, 0x1000)
+	if _, ok := m.Lookup(0, 1, 0x1000); ok {
+		t.Fatal("hit after local flush")
+	}
+}
+
+func TestFlushLocalAll(t *testing.T) {
+	m := NewMachine(1, ModeSync)
+	m.Insert(0, 1, 0x1000, tr(1))
+	m.Insert(0, 1, 0x2000, tr(2))
+	m.Insert(0, 2, 0x1000, tr(3))
+	m.FlushLocalAll(0, 1)
+	if _, ok := m.Lookup(0, 1, 0x1000); ok {
+		t.Error("asid 1 entry survived FlushLocalAll")
+	}
+	if _, ok := m.Lookup(0, 2, 0x1000); !ok {
+		t.Error("asid 2 entry wrongly flushed")
+	}
+}
+
+func TestSyncShootdownImmediate(t *testing.T) {
+	m := NewMachine(4, ModeSync)
+	for c := 0; c < 4; c++ {
+		m.Insert(c, 1, 0x5000, tr(5))
+	}
+	m.Shootdown(0, 1, []arch.Vaddr{0x5000})
+	for c := 0; c < 4; c++ {
+		if _, ok := m.Lookup(c, 1, 0x5000); ok {
+			t.Errorf("core %d still holds translation after sync shootdown", c)
+		}
+	}
+	st := m.Stats()
+	if st.IPIs != 3 {
+		t.Errorf("IPIs = %d, want 3", st.IPIs)
+	}
+	if st.Shootdowns != 1 {
+		t.Errorf("Shootdowns = %d", st.Shootdowns)
+	}
+}
+
+func TestEarlyAckAppliesOnNextAccess(t *testing.T) {
+	m := NewMachine(2, ModeEarlyAck)
+	m.Insert(1, 1, 0x5000, tr(5))
+	m.Shootdown(0, 1, []arch.Vaddr{0x5000})
+	if m.PendingInvalidations() == 0 {
+		t.Fatal("early-ack queued nothing")
+	}
+	// The target's next TLB access drains its inbox first, so the stale
+	// translation is never returned.
+	if _, ok := m.Lookup(1, 1, 0x5000); ok {
+		t.Fatal("stale translation returned after early-ack shootdown")
+	}
+	if m.PendingInvalidations() != 0 {
+		t.Error("inbox not drained by lookup")
+	}
+}
+
+func TestLATRAppliedOnTick(t *testing.T) {
+	m := NewMachine(3, ModeLATR)
+	m.Insert(1, 1, 0x7000, tr(7))
+	m.Insert(2, 1, 0x7000, tr(7))
+	m.Shootdown(0, 1, []arch.Vaddr{0x7000})
+	// LATR defers: remote TLBs still hold the translation until a tick.
+	if _, ok := m.Lookup(1, 1, 0x7000); !ok {
+		t.Fatal("LATR applied eagerly; expected bounded staleness")
+	}
+	m.Tick(1)
+	for c := 1; c < 3; c++ {
+		if _, ok := m.Lookup(c, 1, 0x7000); ok {
+			t.Errorf("core %d stale after tick", c)
+		}
+	}
+	if m.PendingInvalidations() != 0 {
+		t.Error("LATR buffer not cleared after tick")
+	}
+	if m.Stats().IPIs != 0 {
+		t.Error("LATR sent IPIs")
+	}
+}
+
+func TestShootdownAll(t *testing.T) {
+	m := NewMachine(2, ModeSync)
+	m.Insert(0, 3, 0x1000, tr(1))
+	m.Insert(1, 3, 0x2000, tr(2))
+	m.Insert(1, 4, 0x2000, tr(9))
+	m.ShootdownAll(0, 3)
+	if _, ok := m.Lookup(1, 3, 0x2000); ok {
+		t.Error("asid 3 survived ShootdownAll")
+	}
+	if _, ok := m.Lookup(1, 4, 0x2000); !ok {
+		t.Error("asid 4 wrongly invalidated")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	m := NewMachine(1, ModeSync)
+	for i := 0; i < tlbCapacity+10; i++ {
+		m.Insert(0, 1, arch.Vaddr(i)*arch.PageSize, tr(arch.PFN(i)))
+	}
+	// The TLB must have bounded occupancy.
+	c := &m.cores[0]
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	if n > tlbCapacity {
+		t.Errorf("TLB holds %d entries, cap %d", n, tlbCapacity)
+	}
+}
+
+func TestConcurrentShootdownsRace(t *testing.T) {
+	const cores = 8
+	m := NewMachine(cores, ModeSync)
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				va := arch.Vaddr(i%32) * arch.PageSize
+				m.Insert(c, 1, va, tr(arch.PFN(i)))
+				if i%8 == 0 {
+					m.Shootdown(c, 1, []arch.Vaddr{va})
+				}
+				m.Lookup(c, 1, va)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHitRateStats(t *testing.T) {
+	m := NewMachine(1, ModeSync)
+	m.Insert(0, 1, 0x1000, tr(1))
+	m.Lookup(0, 1, 0x1000)
+	m.Lookup(0, 1, 0x2000)
+	st := m.Stats()
+	if st.Lookups != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

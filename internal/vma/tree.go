@@ -1,0 +1,190 @@
+package vma
+
+import (
+	"sync"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+)
+
+// VMA is one virtual memory area: a contiguous range with uniform
+// properties, the unit of Linux's software-level abstraction (§2.2).
+type VMA struct {
+	Start, End arch.Vaddr
+	Perm       arch.Perm
+	File       *mem.File
+	Pgoff      uint64 // file page index backing Start
+	Shared     bool
+
+	// lock is the per-VMA lock of Linux ≥6.4: faults hold it shared so
+	// munmap (holding it exclusively under mmap_lock) cannot pull the
+	// VMA out from under them.
+	lock sync.RWMutex
+}
+
+func (v *VMA) contains(va arch.Vaddr) bool { return va >= v.Start && va < v.End }
+
+// pgoffOf returns the file page index backing va.
+func (v *VMA) pgoffOf(va arch.Vaddr) uint64 {
+	return v.Pgoff + uint64(va-v.Start)/arch.PageSize
+}
+
+// tree is an AVL tree of non-overlapping VMAs keyed by Start — the
+// stand-in for Linux's maple tree. All mutations happen under the
+// mmap_lock writer; lookups happen under at least the reader side.
+type tree struct {
+	root  *node
+	count int
+}
+
+type node struct {
+	v    *VMA
+	l, r *node
+	h    int
+}
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.h
+}
+
+func fix(n *node) *node {
+	n.h = 1 + max(height(n.l), height(n.r))
+	bf := height(n.l) - height(n.r)
+	switch {
+	case bf > 1:
+		if height(n.l.l) < height(n.l.r) {
+			n.l = rotL(n.l)
+		}
+		return rotR(n)
+	case bf < -1:
+		if height(n.r.r) < height(n.r.l) {
+			n.r = rotR(n.r)
+		}
+		return rotL(n)
+	}
+	return n
+}
+
+func rotL(n *node) *node {
+	r := n.r
+	n.r = r.l
+	r.l = n
+	n.h = 1 + max(height(n.l), height(n.r))
+	r.h = 1 + max(height(r.l), height(r.r))
+	return r
+}
+
+func rotR(n *node) *node {
+	l := n.l
+	n.l = l.r
+	l.r = n
+	n.h = 1 + max(height(n.l), height(n.r))
+	l.h = 1 + max(height(l.l), height(l.r))
+	return l
+}
+
+func (t *tree) insert(v *VMA) {
+	t.root = insertNode(t.root, v)
+	t.count++
+}
+
+func insertNode(n *node, v *VMA) *node {
+	if n == nil {
+		return &node{v: v, h: 1}
+	}
+	if v.Start < n.v.Start {
+		n.l = insertNode(n.l, v)
+	} else {
+		n.r = insertNode(n.r, v)
+	}
+	return fix(n)
+}
+
+func (t *tree) remove(v *VMA) {
+	t.root = removeNode(t.root, v.Start)
+	t.count--
+}
+
+func removeNode(n *node, start arch.Vaddr) *node {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case start < n.v.Start:
+		n.l = removeNode(n.l, start)
+	case start > n.v.Start:
+		n.r = removeNode(n.r, start)
+	default:
+		if n.l == nil {
+			return n.r
+		}
+		if n.r == nil {
+			return n.l
+		}
+		// Replace with successor.
+		s := n.r
+		for s.l != nil {
+			s = s.l
+		}
+		n.v = s.v
+		n.r = removeNode(n.r, s.v.Start)
+	}
+	return fix(n)
+}
+
+// find returns the VMA containing va, or nil.
+func (t *tree) find(va arch.Vaddr) *VMA {
+	n := t.root
+	var best *VMA
+	for n != nil {
+		if n.v.Start <= va {
+			best = n.v
+			n = n.r
+		} else {
+			n = n.l
+		}
+	}
+	if best != nil && best.contains(va) {
+		return best
+	}
+	return nil
+}
+
+// overlaps collects every VMA intersecting [lo, hi) in address order.
+func (t *tree) overlaps(lo, hi arch.Vaddr) []*VMA {
+	var out []*VMA
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.v.Start >= hi {
+			walk(n.l)
+			return
+		}
+		walk(n.l)
+		if n.v.End > lo && n.v.Start < hi {
+			out = append(out, n.v)
+		}
+		walk(n.r)
+	}
+	walk(t.root)
+	return out
+}
+
+// forEach visits every VMA in address order.
+func (t *tree) forEach(fn func(*VMA)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.l)
+		fn(n.v)
+		walk(n.r)
+	}
+	walk(t.root)
+}

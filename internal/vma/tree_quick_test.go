@@ -1,0 +1,118 @@
+package vma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cortenmm/internal/arch"
+)
+
+// refIntervals is the flat reference for the AVL interval tree: a slice
+// of VMAs searched linearly.
+type refIntervals []*VMA
+
+func (r refIntervals) find(va arch.Vaddr) *VMA {
+	for _, v := range r {
+		if v.contains(va) {
+			return v
+		}
+	}
+	return nil
+}
+
+func (r refIntervals) overlaps(lo, hi arch.Vaddr) map[*VMA]bool {
+	out := map[*VMA]bool{}
+	for _, v := range r {
+		if v.End > lo && v.Start < hi {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// TestQuickTreeMatchesReference drives random non-overlapping
+// insert/remove sequences and compares find/overlaps against the flat
+// reference.
+func TestQuickTreeMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr tree
+		var ref refIntervals
+		slots := make([]*VMA, 64) // candidate VMAs at fixed positions
+		for i := range slots {
+			start := arch.Vaddr(i) * 0x10000
+			slots[i] = &VMA{Start: start, End: start + arch.Vaddr(1+rng.Intn(15))*arch.PageSize}
+		}
+		present := make([]bool, len(slots))
+		for step := 0; step < 300; step++ {
+			i := rng.Intn(len(slots))
+			if present[i] {
+				tr.remove(slots[i])
+				for j, v := range ref {
+					if v == slots[i] {
+						ref = append(ref[:j], ref[j+1:]...)
+						break
+					}
+				}
+				present[i] = false
+			} else {
+				tr.insert(slots[i])
+				ref = append(ref, slots[i])
+				present[i] = true
+			}
+			// Probe a few random addresses.
+			for p := 0; p < 4; p++ {
+				va := arch.Vaddr(rng.Intn(len(slots)*0x10000 + 0x8000))
+				if tr.find(va) != ref.find(va) {
+					return false
+				}
+			}
+			// And one random overlap query.
+			lo := arch.Vaddr(rng.Intn(len(slots) * 0x10000))
+			hi := lo + arch.Vaddr(1+rng.Intn(0x20000))
+			want := ref.overlaps(lo, hi)
+			got := tr.overlaps(lo, hi)
+			if len(got) != len(want) {
+				return false
+			}
+			for _, v := range got {
+				if !want[v] {
+					return false
+				}
+			}
+			if tr.count != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTreeOrdered: overlaps results come back in address order
+// (munmap depends on it for splitting).
+func TestQuickTreeOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr tree
+		for i := 0; i < 50; i++ {
+			start := arch.Vaddr(rng.Intn(1<<20))<<12 | 0x1000
+			if tr.find(start) == nil {
+				tr.insert(&VMA{Start: start, End: start + arch.PageSize})
+			}
+		}
+		ov := tr.overlaps(0, arch.Vaddr(1)<<40)
+		for i := 1; i < len(ov); i++ {
+			if ov[i-1].Start >= ov[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+)
+
+// TestTcMallocDecommit: aggressive-decommit tcmalloc keeps address
+// space cached but returns physical pages via MADV_DONTNEED.
+func TestTcMallocDecommit(t *testing.T) {
+	sys, m := newAdv(t, 1<<14)
+	defer sys.Destroy(0)
+	alloc := NewTcMalloc(sys, m.Cores)
+	alloc.Decommit = true
+
+	va, err := alloc.Alloc(0, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 256<<10; off += arch.PageSize {
+		if err := sys.Store(0, va+arch.Vaddr(off), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resident := m.Phys.KindFrames(mem.KindAnon)
+	if resident != 64 {
+		t.Fatalf("resident = %d", resident)
+	}
+	alloc.Free(0, va, 256<<10)
+	m.Quiesce()
+	if got := m.Phys.KindFrames(mem.KindAnon); got != 0 {
+		t.Errorf("decommit left %d frames resident", got)
+	}
+	// The span is still cached: no new mmap on realloc.
+	mmaps := sys.Stats().Mmaps.Load()
+	va2, _ := alloc.Alloc(0, 256<<10)
+	if va2 != va {
+		t.Error("span not reused")
+	}
+	if sys.Stats().Mmaps.Load() != mmaps {
+		t.Error("decommit-reuse still called mmap")
+	}
+	// And no munmap ever happened.
+	if sys.Stats().Munmaps.Load() != 0 {
+		t.Error("decommit mode unmapped")
+	}
+}
+
+// TestLinuxMadviseInDedup: the Linux baseline also supports DONTNEED,
+// so decommit-mode allocators run against it too.
+func TestLinuxMadviseInDedup(t *testing.T) {
+	sys, m := newLinux(t, 1<<15)
+	defer sys.Destroy(0)
+	alloc := NewTcMalloc(sys, m.Cores)
+	alloc.Decommit = true
+	res, err := Dedup(m, sys, alloc, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput() <= 0 {
+		t.Errorf("dedup+decommit = %+v", res)
+	}
+	m.Quiesce()
+	if got := m.Phys.KindFrames(mem.KindAnon); got != 0 {
+		t.Errorf("%d frames resident after decommit dedup", got)
+	}
+}

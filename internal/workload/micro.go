@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/pt"
+)
+
+// MicroOp enumerates the Table-3 microbenchmarks.
+type MicroOp uint8
+
+const (
+	// OpMmap: each thread repeatedly mmaps a 16-KiB region.
+	OpMmap MicroOp = iota
+	// OpMmapPF: mmap a 16-KiB region and then access every page.
+	OpMmapPF
+	// OpUnmapVirt: munmap regions not backed by physical pages.
+	OpUnmapVirt
+	// OpUnmap: munmap regions backed by physical pages.
+	OpUnmap
+	// OpPF: access pages of a pre-mmapped region (pure page faults).
+	OpPF
+)
+
+// String names the op as the paper does.
+func (o MicroOp) String() string {
+	switch o {
+	case OpMmap:
+		return "mmap"
+	case OpMmapPF:
+		return "mmap-PF"
+	case OpUnmapVirt:
+		return "unmap-virt"
+	case OpUnmap:
+		return "unmap"
+	case OpPF:
+		return "PF"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// AllMicroOps lists the five Table-3 operations.
+var AllMicroOps = []MicroOp{OpMmap, OpMmapPF, OpUnmapVirt, OpUnmap, OpPF}
+
+// Contention selects the §6.3 variant: private per-thread regions (low)
+// or random chunks of one large shared region (high).
+type Contention uint8
+
+const (
+	// Low contention: each thread works on its own regions.
+	Low Contention = iota
+	// High contention: threads pick random chunks of a shared region.
+	High
+)
+
+// String names the variant.
+func (c Contention) String() string {
+	if c == High {
+		return "high"
+	}
+	return "low"
+}
+
+// regionPages is the 16-KiB region of Table 3 in pages.
+const regionPages = 4
+
+// regionBytes is its byte size.
+const regionBytes = regionPages * arch.PageSize
+
+// hcBase anchors the shared area used by high-contention fixed-address
+// mmaps; it sits below the allocators' user range so it is always free.
+const hcBase = arch.Vaddr(1) << 30
+
+// MicroConfig parameterizes one microbenchmark run.
+type MicroConfig struct {
+	Op         MicroOp
+	Contention Contention
+	Threads    int
+	// Iters is the per-thread operation count.
+	Iters int
+}
+
+// MicroResult is one measured series point.
+type MicroResult struct {
+	Op         MicroOp
+	Contention Contention
+	Threads    int
+	Ops        int
+	Elapsed    time.Duration
+}
+
+// OpsPerSec is the headline number of Figures 1, 13, 14 and 19.
+func (r MicroResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// permuteChunk spreads sequential claim indices pseudo-randomly across
+// the shared region ("a random region within a large shared region"),
+// without collisions.
+func permuteChunk(i, n uint64) uint64 {
+	// A fixed odd multiplier is a bijection mod any power of two; n is
+	// always a power of two below.
+	return (i*2654435761 + 97) & (n - 1)
+}
+
+func ceilPow2(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// RunMicro executes one Table-3 microbenchmark against sys on machine m
+// and returns the measured throughput. Setup phases (pre-mapping the
+// regions an unmap benchmark destroys, etc.) are excluded from timing.
+func RunMicro(machine *cpusim.Machine, sys mm.MM, cfg MicroConfig) (MicroResult, error) {
+	threads, iters := cfg.Threads, cfg.Iters
+	totalChunks := uint64(ceilPow2(uint64(threads * iters)))
+	var failed atomic.Int64
+
+	// Pre-phase.
+	var sharedBase arch.Vaddr
+	perThread := make([][]arch.Vaddr, threads)
+	var claim atomic.Uint64
+	switch cfg.Op {
+	case OpPF:
+		// One large virtual region; threads fault disjoint chunks.
+		va, err := sys.Mmap(0, totalChunks*regionBytes, arch.PermRW, 0)
+		if err != nil {
+			return MicroResult{}, err
+		}
+		sharedBase = va
+	case OpUnmapVirt, OpUnmap:
+		if cfg.Contention == Low {
+			for t := 0; t < threads; t++ {
+				perThread[t] = make([]arch.Vaddr, iters)
+			}
+			machine.Run(threads, func(core int) {
+				for i := 0; i < iters; i++ {
+					va, err := sys.Mmap(core, regionBytes, arch.PermRW, 0)
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					perThread[core][i] = va
+					if cfg.Op == OpUnmap {
+						for p := 0; p < regionPages; p++ {
+							if err := sys.Touch(core, va+arch.Vaddr(p*arch.PageSize), pt.AccessWrite); err != nil {
+								failed.Add(1)
+								return
+							}
+						}
+					}
+				}
+			})
+		} else {
+			va, err := sys.Mmap(0, totalChunks*regionBytes, arch.PermRW, 0)
+			if err != nil {
+				return MicroResult{}, err
+			}
+			sharedBase = va
+			if cfg.Op == OpUnmap {
+				machine.Run(threads, func(core int) {
+					for i := 0; i < iters; i++ {
+						chunk := permuteChunk(claim.Add(1)-1, totalChunks)
+						base := va + arch.Vaddr(chunk*regionBytes)
+						for p := 0; p < regionPages; p++ {
+							if err := sys.Touch(core, base+arch.Vaddr(p*arch.PageSize), pt.AccessWrite); err != nil {
+								failed.Add(1)
+								return
+							}
+						}
+					}
+				})
+				claim.Store(0)
+			}
+		}
+	}
+	if failed.Load() != 0 {
+		return MicroResult{}, fmt.Errorf("workload: micro pre-phase failed")
+	}
+
+	// Timed phase.
+	start := time.Now()
+	machine.Run(threads, func(core int) {
+		for i := 0; i < iters; i++ {
+			var err error
+			switch cfg.Op {
+			case OpMmap:
+				if cfg.Contention == High {
+					// Random fixed-address chunks inside one shared
+					// area: allocations collide on the same PT subtree
+					// (and the same VMA-layer locks on Linux).
+					chunk := permuteChunk(claim.Add(1)-1, totalChunks)
+					err = sys.MmapFixed(core, hcBase+arch.Vaddr(chunk*regionBytes), regionBytes, arch.PermRW, 0)
+				} else {
+					_, err = sys.Mmap(core, regionBytes, arch.PermRW, 0)
+				}
+			case OpMmapPF:
+				var va arch.Vaddr
+				if cfg.Contention == High {
+					chunk := permuteChunk(claim.Add(1)-1, totalChunks)
+					va = hcBase + arch.Vaddr(chunk*regionBytes)
+					err = sys.MmapFixed(core, va, regionBytes, arch.PermRW, 0)
+				} else {
+					va, err = sys.Mmap(core, regionBytes, arch.PermRW, 0)
+				}
+				for p := 0; err == nil && p < regionPages; p++ {
+					err = sys.Touch(core, va+arch.Vaddr(p*arch.PageSize), pt.AccessWrite)
+				}
+			case OpPF:
+				chunk := permuteChunk(claim.Add(1)-1, totalChunks)
+				if cfg.Contention == Low {
+					// Deterministic per-thread striping keeps chunks
+					// private: thread t takes chunk t*iters+i.
+					chunk = uint64(core*iters + i)
+				}
+				base := sharedBase + arch.Vaddr(chunk*regionBytes)
+				for p := 0; err == nil && p < regionPages; p++ {
+					err = sys.Touch(core, base+arch.Vaddr(p*arch.PageSize), pt.AccessWrite)
+				}
+			case OpUnmapVirt, OpUnmap:
+				if cfg.Contention == Low {
+					err = sys.Munmap(core, perThread[core][i], regionBytes)
+				} else {
+					chunk := permuteChunk(claim.Add(1)-1, totalChunks)
+					err = sys.Munmap(core, sharedBase+arch.Vaddr(chunk*regionBytes), regionBytes)
+				}
+			}
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	if failed.Load() != 0 {
+		return MicroResult{}, fmt.Errorf("workload: %s/%s failed on %d threads", cfg.Op, cfg.Contention, threads)
+	}
+	return MicroResult{
+		Op:         cfg.Op,
+		Contention: cfg.Contention,
+		Threads:    threads,
+		Ops:        threads * iters,
+		Elapsed:    elapsed,
+	}, nil
+}
