@@ -6,7 +6,6 @@ import (
 	"cortenmm/internal/arch"
 	"cortenmm/internal/mem"
 	"cortenmm/internal/mm"
-	"cortenmm/internal/pt"
 )
 
 // CollapseHuge promotes the 2-MiB span containing va into one huge
@@ -34,39 +33,59 @@ func (a *AddrSpace) CollapseHuge(core int, va arch.Vaddr) error {
 	}
 	defer c.Close()
 
-	// Pass 1: the whole span must be uniform, resident, anonymous and
-	// exclusively owned.
+	// Pass 1, in one range iteration: the whole span must be uniform,
+	// resident, anonymous and exclusively owned. Non-resident pages
+	// (virtual, swapped, file metadata) simply don't appear in the
+	// resident runs and surface as a coverage gap below.
+	var runs []Run
+	if err := c.IterateMapped(base, base+arch.Vaddr(span), func(r Run) error {
+		runs = append(runs, r)
+		return nil
+	}); err != nil {
+		return err
+	}
 	var perm arch.Perm
 	var key arch.ProtKey
-	for off := uint64(0); off < span; off += arch.PageSize {
-		st, err := c.Query(base + arch.Vaddr(off))
-		if err != nil {
-			return err
+	covered := uint64(0)
+	for ri, r := range runs {
+		if r.Status.Perm&(arch.PermShared|arch.PermCOW) != 0 {
+			return fmt.Errorf("%w: page %#x not collapsible (%v)", mm.ErrNotSupported, r.VA, r.Status.Kind)
 		}
-		if st.Kind != pt.StatusMapped || st.Perm&(arch.PermShared|arch.PermCOW) != 0 {
-			return fmt.Errorf("%w: page %#x not collapsible (%v)", mm.ErrNotSupported, base+arch.Vaddr(off), st.Kind)
+		if r.Status.HugeLevel >= 2 {
+			return nil // already huge: nothing to do
 		}
-		head := a.m.Phys.HeadOf(st.Page)
-		d := a.m.Phys.Desc(head)
-		if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
-			return fmt.Errorf("%w: page %#x shared or non-anon", mm.ErrNotSupported, base+arch.Vaddr(off))
-		}
-		if off == 0 {
-			perm, key = st.Perm, st.Key
-		} else if st.Perm != perm || st.Key != key {
+		if ri == 0 {
+			perm, key = r.Status.Perm, r.Status.Key
+		} else if r.Status.Perm != perm || r.Status.Key != key {
 			return fmt.Errorf("%w: non-uniform permissions in span", mm.ErrNotSupported)
 		}
+		for i := uint64(0); i < r.Pages; i++ {
+			head := a.m.Phys.HeadOf(r.Status.Page + arch.PFN(i))
+			d := a.m.Phys.Desc(head)
+			if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
+				return fmt.Errorf("%w: page %#x shared or non-anon", mm.ErrNotSupported,
+					r.VA+arch.Vaddr(i*arch.PageSize))
+			}
+		}
+		covered += r.Pages
+	}
+	if covered != span/arch.PageSize {
+		return fmt.Errorf("%w: span %#x not fully resident", mm.ErrNotSupported, base)
 	}
 
-	// Pass 2: copy into a fresh order-9 block.
+	// Pass 2: copy into a fresh order-9 block. Runs are physically
+	// contiguous, so each is one memmove.
 	block, err := a.m.Phys.AllocFrames(core, arch.IndexBits, mem.KindAnon)
 	if err != nil {
 		return err // no contiguous memory: not an error of the span
 	}
 	dst := a.m.Phys.Data(block)
-	for off := uint64(0); off < span; off += arch.PageSize {
-		st, _ := c.Query(base + arch.Vaddr(off))
-		copy(dst[off:off+arch.PageSize], a.m.Phys.DataPage(st.Page))
+	for _, r := range runs {
+		off := uint64(r.VA - base)
+		for i := uint64(0); i < r.Pages; i++ {
+			copy(dst[off+i*arch.PageSize:off+(i+1)*arch.PageSize],
+				a.m.Phys.DataPage(r.Status.Page+arch.PFN(i)))
+		}
 	}
 
 	// Pass 3: replace the 512 small mappings with one huge leaf. Map

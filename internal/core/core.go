@@ -196,6 +196,31 @@ func (a *AddrSpace) registerFileMapping(f *mem.File, va arch.Vaddr, pgoff, npage
 	a.fileMu.Unlock()
 }
 
+// pruneFileMappings drops reverse-mapping records whose range lies
+// entirely inside the unmapped range [lo, hi), unregistering each from
+// its file (AddMapper counts registrations, so the file's mapper entry
+// disappears exactly when this space's last mapping of it goes away).
+// Without this, Munmap leaked one fileMaps record — and one mapper
+// registration — per file mapping for the life of the space.
+func (a *AddrSpace) pruneFileMappings(lo, hi arch.Vaddr) {
+	a.fileMu.Lock()
+	var gone []*mem.File
+	kept := a.fileMaps[:0]
+	for _, fm := range a.fileMaps {
+		end := fm.va + arch.Vaddr(fm.npages*arch.PageSize)
+		if fm.va >= lo && end <= hi {
+			gone = append(gone, fm.file)
+			continue
+		}
+		kept = append(kept, fm)
+	}
+	a.fileMaps = kept
+	a.fileMu.Unlock()
+	for _, f := range gone {
+		f.RemoveMapper(a)
+	}
+}
+
 // dropFileMappings unregisters every file mapping (teardown).
 func (a *AddrSpace) dropFileMappings() {
 	a.fileMu.Lock()

@@ -6,6 +6,8 @@ import (
 
 	"cortenmm/internal/arch"
 	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
 	"cortenmm/internal/pt"
 )
 
@@ -108,6 +110,117 @@ func BenchmarkParallelFaults(b *testing.B) {
 					i++
 				}
 			})
+		})
+	}
+}
+
+// rangeSizes are the spans the range-operation benchmarks sweep; the
+// 64-MiB and 1-GiB points are where single-pass range iteration must
+// beat per-page root-to-leaf walks (O(pages + depth) vs O(pages × depth)).
+var rangeSizes = []struct {
+	name string
+	size uint64
+}{
+	{"1MiB", 1 << 20},
+	{"64MiB", 1 << 26},
+	{"1GiB", 1 << 30},
+}
+
+// BenchmarkMsyncRange measures msync over a large shared file mapping
+// with a handful of resident dirty pages — the cost is the range scan,
+// not the writeback.
+func BenchmarkMsyncRange(b *testing.B) {
+	for _, sz := range rangeSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			m := cpusim.New(cpusim.Config{Cores: 1, Frames: 1 << 14})
+			a, err := New(Options{Machine: m, Protocol: ProtocolAdv, PerCoreVA: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Destroy(0)
+			f := mem.NewFile(m.Phys, "bench", sz.size)
+			va, err := a.MmapFile(0, f, 0, sz.size, arch.PermRW, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Dirty 32 pages spread across the range.
+			npages := sz.size / arch.PageSize
+			for i := uint64(0); i < 32; i++ {
+				page := va + arch.Vaddr(i*(npages/32)*arch.PageSize)
+				if err := a.Store(0, page, byte(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(sz.size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Msync(0, va, sz.size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPopulateRange measures MAP_POPULATE end to end: one timed
+// mmap+populate of the whole range per iteration (teardown untimed).
+func BenchmarkPopulateRange(b *testing.B) {
+	for _, sz := range rangeSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			frames := int(sz.size/arch.PageSize) + (1 << 13)
+			m := cpusim.New(cpusim.Config{Cores: 1, Frames: frames})
+			a, err := New(Options{Machine: m, Protocol: ProtocolAdv, PerCoreVA: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Destroy(0)
+			b.SetBytes(int64(sz.size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				va, err := a.Mmap(0, sz.size, arch.PermRW, mm.FlagPopulate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := a.Munmap(0, va, sz.size); err != nil {
+					b.Fatal(err)
+				}
+				m.Quiesce()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkMunmapFlushRange measures unmapping a fully populated range —
+// the path whose TLB invalidation volume the coalesced flush ranges are
+// meant to collapse (one range shootdown instead of one per page).
+func BenchmarkMunmapFlushRange(b *testing.B) {
+	for _, sz := range rangeSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			frames := int(sz.size/arch.PageSize) + (1 << 13)
+			m := cpusim.New(cpusim.Config{Cores: 1, Frames: frames})
+			a, err := New(Options{Machine: m, Protocol: ProtocolAdv, PerCoreVA: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Destroy(0)
+			b.SetBytes(int64(sz.size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				va, err := a.Mmap(0, sz.size, arch.PermRW, mm.FlagPopulate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := a.Munmap(0, va, sz.size); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				m.Quiesce()
+				b.StartTimer()
+			}
 		})
 	}
 }

@@ -251,6 +251,7 @@ func TestPartialMunmapSplits(t *testing.T) {
 			if err := a.Munmap(0, va+4*arch.PageSize, 8*arch.PageSize); err != nil {
 				t.Fatal(err)
 			}
+			m.Quiesce() // unmapped frames free after the RCU grace period
 			if got := m.Phys.KindFrames(mem.KindAnon); got != 8 {
 				t.Errorf("frames after partial unmap = %d, want 8", got)
 			}

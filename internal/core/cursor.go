@@ -7,6 +7,7 @@ import (
 	"cortenmm/internal/mem"
 	"cortenmm/internal/mm"
 	"cortenmm/internal/pt"
+	"cortenmm/internal/tlb"
 )
 
 // Error aliases so callers can match on the shared mm errors.
@@ -55,32 +56,25 @@ func (c *RCursor) AnyAllocated(lo, hi arch.Vaddr) (bool, error) {
 	if err := c.checkRange(lo, hi); err != nil {
 		return false, err
 	}
-	return c.anyIn(c.root, c.rootLevel, c.rootBase, lo, hi), nil
-}
-
-func (c *RCursor) anyIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr) bool {
-	t, isa := c.a.tree, c.a.isa
-	span := arch.SpanBytes(level)
-	start := int(uint64(lo-base) / span)
-	end := int(uint64(hi-1-base) / span)
-	for idx := start; idx <= end; idx++ {
-		entryLo := base + arch.Vaddr(uint64(idx)*span)
-		pte := t.LoadPTE(pfn, idx)
-		if isa.IsPresent(pte) {
-			if isa.IsLeaf(pte, level) {
-				return true
+	found := false
+	v := walkOps{
+		readOnly: true,
+		onLeaf: func(arch.PFN, int, int, arch.Vaddr, arch.Vaddr, arch.Vaddr, uint64) error {
+			found = true
+			return errStopWalk
+		},
+		onMeta: func(pfn arch.PFN, idx, _ int, _, _, _ arch.Vaddr) error {
+			if c.a.tree.GetMeta(pfn, idx).Kind != pt.StatusInvalid {
+				found = true
+				return errStopWalk
 			}
-			subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryLo+arch.Vaddr(span))
-			if c.anyIn(isa.PFNOf(pte), level-1, entryLo, subLo, subHi) {
-				return true
-			}
-			continue
-		}
-		if t.GetMeta(pfn, idx).Kind != pt.StatusInvalid {
-			return true
-		}
+			return nil
+		},
 	}
-	return false
+	if err := c.walk(&v, lo, hi); err != nil {
+		return false, err
+	}
+	return found, nil
 }
 
 // Map maps the physical frame at va with the given permission (Figure
@@ -130,8 +124,10 @@ func (c *RCursor) mapKeyed(va arch.Vaddr, frame arch.PFN, level int, perm arch.P
 	old := t.LoadPTE(pfn, idx)
 	if isa.IsPresent(old) {
 		if !isa.IsLeaf(old, level) {
-			// A finer-grained subtree sits here; clear it first.
-			c.unmapIn(pfn, level, base, va, va+arch.Vaddr(span))
+			// A finer-grained subtree sits here; clear it first. The
+			// range covers the entry exactly, so no split can be needed
+			// and the clear cannot fail.
+			_ = c.walkRange(&clearWalk, pfn, level, base, va, va+arch.Vaddr(span))
 		} else {
 			c.releaseLeaf(old, level, va)
 		}
@@ -158,112 +154,33 @@ func (c *RCursor) Mark(lo, hi arch.Vaddr, s pt.Status) error {
 	if s.Kind == pt.StatusMapped {
 		return fmt.Errorf("%w: cannot Mark Mapped; use Map", errBadRange)
 	}
-	return c.markIn(c.root, c.rootLevel, c.rootBase, lo, hi, s, lo)
-}
-
-func (c *RCursor) markIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr, s pt.Status, sBase arch.Vaddr) error {
-	t, isa := c.a.tree, c.a.isa
-	span := arch.SpanBytes(level)
-	start := int(uint64(lo-base) / span)
-	end := int(uint64(hi-1-base) / span)
-	for idx := start; idx <= end; idx++ {
-		entryLo := base + arch.Vaddr(uint64(idx)*span)
-		entryHi := entryLo + arch.Vaddr(span)
-		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
-		full := subLo == entryLo && subHi == entryHi
-		if full {
-			pte := t.LoadPTE(pfn, idx)
-			if isa.IsPresent(pte) {
-				if isa.IsLeaf(pte, level) {
-					c.releaseLeaf(pte, level, entryLo)
-					t.SetPTE(pfn, idx, 0)
-				} else {
-					child := isa.PFNOf(pte)
-					c.unmapIn(child, level-1, entryLo, entryLo, entryHi)
-					c.removeChild(pfn, idx, child)
-				}
-			}
-			c.dropMeta(pfn, idx)
-			ns := s
+	t := c.a.tree
+	v := walkOps{
+		clearFull:  true,
+		pruneEmpty: true,
+		splitEmpty: s.Kind != pt.StatusInvalid,
+		onMeta: func(pfn arch.PFN, idx, _ int, entryLo, _, _ arch.Vaddr) error {
+			// The engine already tore the entry down; record the new
+			// status, slid to this entry's offset within [lo, hi).
 			if s.Kind != pt.StatusInvalid {
-				ns = s.SlidBy(uint64(entryLo-sBase) / arch.PageSize)
-				t.SetMeta(pfn, idx, ns)
+				t.SetMeta(pfn, idx, s.SlidBy(uint64(entryLo-lo)/arch.PageSize))
 			}
-			continue
-		}
-		if level == 1 {
-			panic("core: partial entry at level 1")
-		}
-		pte := t.LoadPTE(pfn, idx)
-		if !isa.IsPresent(pte) && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid && s.Kind == pt.StatusInvalid {
-			continue // nothing to clear, nothing to set
-		}
-		child, err := c.ensureChild(pfn, level, idx, entryLo)
-		if err != nil {
-			return err
-		}
-		if err := c.markIn(child, level-1, entryLo, subLo, subHi, s, sBase); err != nil {
-			return err
-		}
-		if t.Empty(child) {
-			c.removeChild(pfn, idx, child)
-		}
+			return nil
+		},
 	}
-	return nil
+	return c.walk(&v, lo, hi)
 }
 
 // Unmap removes every mapping and status in [lo, hi) (Figure 4),
 // freeing page-table pages that become empty — under CortenMM_adv via
-// the stale-mark + RCU-monitor path of Figure 6.
+// the stale-mark + RCU-monitor path of Figure 6. It is exactly the
+// engine's teardown visitor: split failures under OOM skip the entry
+// (unmap is not obliged to split huge spans it cannot afford to).
 func (c *RCursor) Unmap(lo, hi arch.Vaddr) error {
 	if err := c.checkRange(lo, hi); err != nil {
 		return err
 	}
-	c.unmapIn(c.root, c.rootLevel, c.rootBase, lo, hi)
-	return nil
-}
-
-func (c *RCursor) unmapIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr) {
-	t, isa := c.a.tree, c.a.isa
-	span := arch.SpanBytes(level)
-	start := int(uint64(lo-base) / span)
-	end := int(uint64(hi-1-base) / span)
-	for idx := start; idx <= end; idx++ {
-		entryLo := base + arch.Vaddr(uint64(idx)*span)
-		entryHi := entryLo + arch.Vaddr(span)
-		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
-		full := subLo == entryLo && subHi == entryHi
-		pte := t.LoadPTE(pfn, idx)
-		present := isa.IsPresent(pte)
-		if full {
-			if present {
-				if isa.IsLeaf(pte, level) {
-					c.releaseLeaf(pte, level, entryLo)
-					t.SetPTE(pfn, idx, 0)
-				} else {
-					child := isa.PFNOf(pte)
-					c.unmapIn(child, level-1, entryLo, entryLo, entryHi)
-					c.removeChild(pfn, idx, child)
-				}
-			}
-			c.dropMeta(pfn, idx)
-			continue
-		}
-		if !present && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid {
-			continue
-		}
-		child, err := c.ensureChild(pfn, level, idx, entryLo)
-		if err != nil {
-			// Allocation failure while splitting: leave the remainder
-			// mapped; unmap is not obliged to split huge spans it
-			// cannot afford to. (Only reachable under extreme OOM.)
-			continue
-		}
-		c.unmapIn(child, level-1, entryLo, subLo, subHi)
-		if t.Empty(child) {
-			c.removeChild(pfn, idx, child)
-		}
-	}
+	return c.walk(&clearWalk, lo, hi)
 }
 
 // Protect changes the permission of every page in [lo, hi) (the mark
@@ -275,50 +192,22 @@ func (c *RCursor) Protect(lo, hi arch.Vaddr, perm arch.Perm) error {
 		return err
 	}
 	c.needSync = true // tightening must be visible before return
-	return c.protectIn(c.root, c.rootLevel, c.rootBase, lo, hi, perm)
-}
-
-func (c *RCursor) protectIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr, perm arch.Perm) error {
-	t, isa := c.a.tree, c.a.isa
-	span := arch.SpanBytes(level)
-	start := int(uint64(lo-base) / span)
-	end := int(uint64(hi-1-base) / span)
-	for idx := start; idx <= end; idx++ {
-		entryLo := base + arch.Vaddr(uint64(idx)*span)
-		entryHi := entryLo + arch.Vaddr(span)
-		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
-		full := subLo == entryLo && subHi == entryHi
-		pte := t.LoadPTE(pfn, idx)
-		present := isa.IsPresent(pte)
-		if full {
-			if present {
-				if isa.IsLeaf(pte, level) {
-					t.StorePTE(pfn, idx, c.protectPTE(pte, level, perm))
-					c.noteFlush(entryLo, level)
-				} else {
-					if err := c.protectIn(isa.PFNOf(pte), level-1, entryLo, entryLo, entryHi, perm); err != nil {
-						return err
-					}
-				}
-			}
+	t := c.a.tree
+	v := walkOps{
+		onLeaf: func(pfn arch.PFN, idx, level int, entryLo, _, _ arch.Vaddr, pte uint64) error {
+			t.StorePTE(pfn, idx, c.protectPTE(pte, level, perm))
+			c.noteFlush(entryLo, level)
+			return nil
+		},
+		onMeta: func(pfn arch.PFN, idx, _ int, _, _, _ arch.Vaddr) error {
 			if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
 				s.Perm = perm
 				t.SetMeta(pfn, idx, s)
 			}
-			continue
-		}
-		if !present && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid {
-			continue
-		}
-		child, err := c.ensureChild(pfn, level, idx, entryLo)
-		if err != nil {
-			return err
-		}
-		if err := c.protectIn(child, level-1, entryLo, subLo, subHi, perm); err != nil {
-			return err
-		}
+			return nil
+		},
 	}
-	return nil
+	return c.walk(&v, lo, hi)
 }
 
 // protectPTE computes the new PTE for a permission change, applying the
@@ -354,48 +243,22 @@ func (c *RCursor) SetProtKey(lo, hi arch.Vaddr, key arch.ProtKey) error {
 		return fmt.Errorf("%w: protection key %d", errBadRange, key)
 	}
 	c.needSync = true
-	return c.keyIn(c.root, c.rootLevel, c.rootBase, lo, hi, key)
-}
-
-func (c *RCursor) keyIn(pfn arch.PFN, level int, base, lo, hi arch.Vaddr, key arch.ProtKey) error {
 	t, isa := c.a.tree, c.a.isa
-	span := arch.SpanBytes(level)
-	start := int(uint64(lo-base) / span)
-	end := int(uint64(hi-1-base) / span)
-	for idx := start; idx <= end; idx++ {
-		entryLo := base + arch.Vaddr(uint64(idx)*span)
-		entryHi := entryLo + arch.Vaddr(span)
-		subLo, subHi := maxVA(lo, entryLo), minVA(hi, entryHi)
-		full := subLo == entryLo && subHi == entryHi
-		pte := t.LoadPTE(pfn, idx)
-		present := isa.IsPresent(pte)
-		if full {
-			if present {
-				if isa.IsLeaf(pte, level) {
-					t.StorePTE(pfn, idx, isa.WithProtKey(pte, key))
-					c.noteFlush(entryLo, level)
-				} else if err := c.keyIn(isa.PFNOf(pte), level-1, entryLo, entryLo, entryHi, key); err != nil {
-					return err
-				}
-			}
+	v := walkOps{
+		onLeaf: func(pfn arch.PFN, idx, level int, entryLo, _, _ arch.Vaddr, pte uint64) error {
+			t.StorePTE(pfn, idx, isa.WithProtKey(pte, key))
+			c.noteFlush(entryLo, level)
+			return nil
+		},
+		onMeta: func(pfn arch.PFN, idx, _ int, _, _, _ arch.Vaddr) error {
 			if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
 				s.Key = key
 				t.SetMeta(pfn, idx, s)
 			}
-			continue
-		}
-		if !present && t.GetMeta(pfn, idx).Kind == pt.StatusInvalid {
-			continue
-		}
-		child, err := c.ensureChild(pfn, level, idx, entryLo)
-		if err != nil {
-			return err
-		}
-		if err := c.keyIn(child, level-1, entryLo, subLo, subHi, key); err != nil {
-			return err
-		}
+			return nil
+		},
 	}
-	return nil
+	return c.walk(&v, lo, hi)
 }
 
 // ensureChild returns the child PT page under (pfn, idx), creating it if
@@ -454,17 +317,22 @@ func (c *RCursor) releaseLeaf(pte uint64, level int, va arch.Vaddr) {
 	c.noteFlush(va, level)
 }
 
-// noteFlush queues a TLB invalidation for the leaf span at va.
+// noteFlush queues a TLB invalidation for the leaf span at va,
+// coalescing adjacent spans into one [lo, hi) range — a range walk that
+// tears down N contiguous pages accumulates one range, not N addresses,
+// and Close issues one range shootdown for it. Huge leaves simply
+// extend the range by their span (our TLBs cache 4-KiB translations, so
+// the whole span must die).
 func (c *RCursor) noteFlush(va arch.Vaddr, level int) {
-	if level > 1 {
-		// Our TLBs cache 4-KiB translations, so a huge leaf may have
-		// populated many entries; flush the ASID wholesale.
-		c.flushAll = true
+	if c.flushAll {
 		return
 	}
-	if !c.flushAll {
-		c.flush = append(c.flush, va)
+	hi := va + arch.Vaddr(arch.SpanBytes(level))
+	if n := len(c.flush); n > 0 && c.flush[n-1].Hi == va {
+		c.flush[n-1].Hi = hi
+		return
 	}
+	c.flush = append(c.flush, tlb.Range{Lo: va, Hi: hi})
 }
 
 // removeChild unlinks an (empty) child PT page from its parent and frees

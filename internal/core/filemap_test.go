@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mem"
+)
+
+// TestMunmapPrunesFileMappings: unmapping a file mapping must drop its
+// fileMaps record and release the space's registration in the file's
+// reverse map. Before the fix, Munmap left both behind, so a long-lived
+// space that mapped and unmapped files accumulated dead records and the
+// file kept shooting down pages in spaces that no longer mapped it.
+func TestMunmapPrunesFileMappings(t *testing.T) {
+	a, m := newSpace(t, ProtocolAdv)
+	defer a.Destroy(0)
+	f := mem.NewFile(m.Phys, "data", 8*arch.PageSize)
+
+	countMappers := func() int {
+		n := 0
+		f.ForEachMapper(func(mem.RMapTarget) { n++ })
+		return n
+	}
+
+	va1, err := a.MmapFile(0, f, 0, 4*arch.PageSize, arch.PermRW, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va2, err := a.MmapFile(0, f, 4, 4*arch.PageSize, arch.PermRead, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.fileMaps); got != 2 {
+		t.Fatalf("fileMaps after two MmapFiles = %d, want 2", got)
+	}
+	if got := countMappers(); got != 1 {
+		t.Fatalf("file mappers = %d, want 1 (one space, two registrations)", got)
+	}
+
+	// A partial unmap keeps the record: the mapping still covers pages.
+	if err := a.Munmap(0, va1, arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.fileMaps); got != 2 {
+		t.Fatalf("fileMaps after partial unmap = %d, want 2", got)
+	}
+
+	// Unmapping the first mapping in full prunes its record but keeps
+	// the space registered for the surviving second mapping.
+	if err := a.Munmap(0, va1, 4*arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.fileMaps); got != 1 {
+		t.Fatalf("fileMaps after full unmap = %d, want 1", got)
+	}
+	if a.fileMaps[0].va != va2 {
+		t.Fatalf("wrong record pruned: kept va %#x, want %#x", a.fileMaps[0].va, va2)
+	}
+	if got := countMappers(); got != 1 {
+		t.Fatalf("file mappers after first unmap = %d, want 1", got)
+	}
+
+	// Unmapping the last mapping drops the registration entirely.
+	if err := a.Munmap(0, va2, 4*arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.fileMaps); got != 0 {
+		t.Fatalf("fileMaps after last unmap = %d, want 0", got)
+	}
+	if got := countMappers(); got != 0 {
+		t.Fatalf("file mappers after last unmap = %d, want 0", got)
+	}
+	checkWF(t, a)
+}

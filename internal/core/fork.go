@@ -199,39 +199,45 @@ func (a *AddrSpace) SwapOut(core int, va arch.Vaddr, size uint64) (int, error) {
 	defer c.Close()
 	c.needSync = true // the frames are reused immediately after
 
+	// One pass collects candidate runs; the swap mutates the tree, so it
+	// happens after the iteration. Huge runs are skipped (the swap path
+	// works at 4-KiB granularity, like the reclaim clock).
+	var runs []Run
+	err = c.IterateMapped(va, va+arch.Vaddr(size), func(r Run) error {
+		if r.Status.Perm&(arch.PermShared|arch.PermCOW) == 0 && r.Status.HugeLevel < 2 {
+			runs = append(runs, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
 	n := 0
-	for off := uint64(0); off < size; off += arch.PageSize {
-		page := va + arch.Vaddr(off)
-		st, err := c.Query(page)
-		if err != nil {
-			return n, err
+	for _, r := range runs {
+		for i := uint64(0); i < r.Pages; i++ {
+			page := r.VA + arch.Vaddr(i*arch.PageSize)
+			pfn := r.Status.Page + arch.PFN(i)
+			head := a.m.Phys.HeadOf(pfn)
+			d := a.m.Phys.Desc(head)
+			if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
+				continue // only exclusively owned anonymous pages
+			}
+			block := a.swapDev.AllocBlock()
+			a.swapDev.Write(block, a.m.Phys.DataPage(pfn))
+			if err := c.Unmap(page, page+arch.PageSize); err != nil {
+				a.swapDev.FreeBlock(block)
+				return n, err
+			}
+			err := c.Mark(page, page+arch.PageSize, pt.Status{
+				Kind: pt.StatusSwapped, Perm: r.Status.Perm, Dev: a.swapDev, Block: block, Key: r.Status.Key,
+			})
+			if err != nil {
+				a.swapDev.FreeBlock(block)
+				return n, err
+			}
+			a.stats.SwapOuts.Add(1)
+			n++
 		}
-		if st.Kind != pt.StatusMapped {
-			continue
-		}
-		if st.Perm&(arch.PermShared|arch.PermCOW) != 0 {
-			continue // only exclusively owned anonymous pages
-		}
-		head := a.m.Phys.HeadOf(st.Page)
-		d := a.m.Phys.Desc(head)
-		if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
-			continue
-		}
-		block := a.swapDev.AllocBlock()
-		a.swapDev.Write(block, a.m.Phys.DataPage(st.Page))
-		if err := c.Unmap(page, page+arch.PageSize); err != nil {
-			a.swapDev.FreeBlock(block)
-			return n, err
-		}
-		err = c.Mark(page, page+arch.PageSize, pt.Status{
-			Kind: pt.StatusSwapped, Perm: st.Perm, Dev: a.swapDev, Block: block, Key: st.Key,
-		})
-		if err != nil {
-			a.swapDev.FreeBlock(block)
-			return n, err
-		}
-		a.stats.SwapOuts.Add(1)
-		n++
 	}
 	return n, nil
 }

@@ -33,10 +33,10 @@ type RCursor struct {
 	locked []arch.PFN
 
 	// Deferred side effects, applied at Close.
-	flush    []arch.Vaddr // 4-KiB pages whose translations must die
-	flushAll bool         // flush the whole ASID instead
-	needSync bool         // permission tightening: must not be lazy
-	freed    []arch.PFN   // frame heads to release after the shootdown
+	flush    []tlb.Range // coalesced VA ranges whose translations must die
+	flushAll bool        // flush the whole ASID instead
+	needSync bool        // permission tightening: must not be lazy
+	freed    []arch.PFN  // frame heads to release after the shootdown
 
 	closed bool
 	cached bool // lives in the per-core cursor cache
@@ -45,7 +45,7 @@ type RCursor struct {
 	// fault locks one PT page, unmaps touch a handful) allocation-free.
 	readPathArr [arch.Levels]arch.PFN
 	lockedArr   [8]arch.PFN
-	flushArr    [8]arch.Vaddr
+	flushArr    [8]tlb.Range
 	freedArr    [8]arch.PFN
 }
 
@@ -271,12 +271,14 @@ func (c *RCursor) Close() {
 }
 
 // shootAndFree performs the deferred TLB invalidations and then drops
-// the references of unmapped frames. Under lazy shootdown modes the
-// frames go through the RCU monitor so they cannot be reused while a
-// core might still hold a stale translation.
+// the references of unmapped frames. All frames go through the RCU
+// monitor: under lazy shootdown a core might still hold a stale
+// translation, and even after a synchronous shootdown an access that
+// already passed translation is still retiring (hardware acks the IPI
+// only after in-flight accesses complete; the simulated access path
+// models that window as an RCU read section).
 func (c *RCursor) shootAndFree() {
 	a := c.a
-	lazyTLB := a.m.TLB.Mode() != tlb.ModeSync
 	switch {
 	case c.flushAll:
 		if c.needSync {
@@ -286,32 +288,28 @@ func (c *RCursor) shootAndFree() {
 		}
 	case len(c.flush) > 0:
 		if c.needSync {
-			a.m.TLB.ShootdownSync(c.core, a.asid, c.flush)
+			a.m.TLB.ShootdownRangesSync(c.core, a.asid, c.flush)
 		} else if len(c.flush) > 32 {
-			// Like Linux, a large batch flushes the whole ASID.
+			// Like Linux, a large batch of disjoint ranges flushes the
+			// whole ASID. (Contiguous teardown coalesces into one range
+			// and never hits this.)
 			a.m.TLB.ShootdownAll(c.core, a.asid)
 		} else {
-			a.m.TLB.Shootdown(c.core, a.asid, c.flush)
+			a.m.TLB.ShootdownRanges(c.core, a.asid, c.flush)
 		}
 	}
 	if len(c.freed) == 0 {
 		return
 	}
 	core := c.core
-	if lazyTLB && !c.needSync {
-		// The cursor may be recycled before the grace period ends, so
-		// the deferred free needs its own copy of the list.
-		freed := append([]arch.PFN(nil), c.freed...)
-		a.m.RCU.Defer(func() {
-			for _, pfn := range freed {
-				a.m.Phys.Put(core, pfn)
-			}
-		})
-		return
-	}
-	for _, pfn := range c.freed {
-		a.m.Phys.Put(core, pfn)
-	}
+	// The cursor may be recycled before the grace period ends, so the
+	// deferred free needs its own copy of the list.
+	freed := append([]arch.PFN(nil), c.freed...)
+	a.m.RCU.Defer(func() {
+		for _, pfn := range freed {
+			a.m.Phys.Put(core, pfn)
+		}
+	})
 }
 
 // Range returns the locked range.

@@ -25,6 +25,41 @@ func newRefModel() *refModel {
 	return &refModel{perm: map[arch.Vaddr]arch.Perm{}, written: map[arch.Vaddr]byte{}}
 }
 
+// checkIterateMatchesQuery verifies the run-based Iterate against the
+// per-page Query oracle over [lo, hi): runs must arrive in address
+// order without overlap, and sliding each run's status page by page
+// must reproduce exactly what Query reports — including the gaps, where
+// Iterate stays silent and Query returns Invalid.
+func checkIterateMatchesQuery(t *testing.T, c *RCursor, lo, hi arch.Vaddr) {
+	t.Helper()
+	byPage := map[arch.Vaddr]pt.Status{}
+	prevEnd := lo
+	err := c.Iterate(lo, hi, func(r Run) error {
+		if r.Pages == 0 || r.VA < prevEnd || r.End() > hi {
+			t.Fatalf("iterate: run [%#x,%#x) empty, out of order, or out of range", r.VA, r.End())
+		}
+		prevEnd = r.End()
+		for i := uint64(0); i < r.Pages; i++ {
+			st := r.Status.SlidBy(i)
+			st.HugeLevel = 0 // Query reports per-page statuses without the leaf level
+			byPage[r.VA+arch.Vaddr(i*arch.PageSize)] = st
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("iterate: %v", err)
+	}
+	for va := lo; va < hi; va += arch.PageSize {
+		want, err := c.Query(va)
+		if err != nil {
+			t.Fatalf("query %#x: %v", va, err)
+		}
+		if got := byPage[va]; got != want {
+			t.Fatalf("iterate/query disagree at %#x: iterate=%+v query=%+v", va, got, want)
+		}
+	}
+}
+
 // TestReferenceModelEquivalence drives identical random operation
 // sequences through CortenMM and the flat model and compares every
 // observable: query status, access outcomes, and data.
@@ -140,6 +175,7 @@ func TestReferenceModelEquivalence(t *testing.T) {
 							}
 						}
 					}
+					checkIterateMatchesQuery(t, c, pageAt(lo), pageAt(lo+n))
 					c.Close()
 				}
 			}
@@ -189,6 +225,14 @@ func TestModelEquivalenceWithHugeRegions(t *testing.T) {
 			if alive[i] != (err == nil) {
 				t.Fatalf("step %d: touch alive=%v err=%v", step, alive[i], err)
 			}
+		}
+		if step%100 == 99 {
+			c, err := a.Lock(0, base, base+npages*arch.PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkIterateMatchesQuery(t, c, base, base+npages*arch.PageSize)
+			c.Close()
 		}
 	}
 	checkWF(t, a)

@@ -72,38 +72,56 @@ func (a *AddrSpace) Mremap(core int, oldVA arch.Vaddr, oldSize, newSize uint64) 
 	// translations must die everywhere before the move returns.
 	c.needSync = true
 
-	// tailPerm is the permission for the newly grown pages, taken from
-	// the first allocated page of the old region (Linux grows the
-	// mapping with the VMA's protection; our analog is the recorded or
-	// mapped permission).
+	// One pass enumerates the old range as runs; the moves mutate both
+	// ranges, so they happen after the iteration. tailPerm — the
+	// permission for the newly grown pages — comes from the first
+	// allocated run (Linux grows the mapping with the VMA's protection;
+	// our analog is the recorded or mapped permission).
+	var runs []Run
+	if err := c.Iterate(oldVA, oldVA+arch.Vaddr(oldSize), func(r Run) error {
+		runs = append(runs, r)
+		return nil
+	}); err != nil {
+		c.Close()
+		return 0, err
+	}
 	tailPerm := arch.PermRW
-	tailPermSet := false
-	for off := uint64(0); off < oldSize; off += arch.PageSize {
-		src := oldVA + arch.Vaddr(off)
-		dst := newVA + arch.Vaddr(off)
-		st, err := c.Query(src)
-		if err == nil {
-			if !tailPermSet && st.Kind != pt.StatusInvalid {
-				tailPerm = logicalPerm(st.Perm) &^ (arch.PermCOW | arch.PermShared)
-				tailPermSet = true
-			}
-			switch st.Kind {
-			case pt.StatusInvalid:
-				continue
-			case pt.StatusMapped:
+	if len(runs) > 0 {
+		tailPerm = logicalPerm(runs[0].Status.Perm) &^ (arch.PermCOW | arch.PermShared)
+	}
+	for _, r := range runs {
+		dst := newVA + (r.VA - oldVA)
+		var err error
+		switch {
+		case r.Status.Kind == pt.StatusMapped && r.Status.HugeLevel >= 2:
+			// Huge leaves move via split paths, which TakePage refuses.
+			err = fmt.Errorf("core: page vanished during mremap")
+		case r.Status.Kind == pt.StatusMapped:
+			for i := uint64(0); i < r.Pages && err == nil; i++ {
+				src := r.VA + arch.Vaddr(i*arch.PageSize)
 				frame, perm, key, ok := c.TakePage(src)
 				if !ok {
 					err = fmt.Errorf("core: page vanished during mremap")
 				} else {
-					err = c.PlacePage(dst, frame, perm, key)
+					err = c.PlacePage(dst+arch.Vaddr(i*arch.PageSize), frame, perm, key)
 				}
-			default:
-				// Not-resident state (virtual, file, swapped) moves as
-				// metadata; clear at the source without releasing the
-				// swap block — the destination keeps it.
-				if err = c.Mark(dst, dst+arch.PageSize, st); err == nil {
-					err = c.clearMetaAt(src)
+			}
+		case r.Status.Kind == pt.StatusSwapped:
+			// Swap entries move as metadata; clear the source without
+			// releasing the block — the destination keeps it. (Swap runs
+			// are single pages: every block is distinct.)
+			if err = c.Mark(dst, dst+arch.Vaddr(r.Pages*arch.PageSize), r.Status); err == nil {
+				for i := uint64(0); i < r.Pages && err == nil; i++ {
+					err = c.clearMetaAt(r.VA + arch.Vaddr(i*arch.PageSize))
 				}
+			}
+		default:
+			// Not-resident virtual/file state: one Mark per run at the
+			// destination, one wipe at the source. Mark with Invalid
+			// only drops metadata here — the run holds no mappings and
+			// no swap blocks.
+			if err = c.Mark(dst, dst+arch.Vaddr(r.Pages*arch.PageSize), r.Status); err == nil {
+				err = c.Mark(r.VA, r.End(), pt.Status{})
 			}
 		}
 		if err != nil {

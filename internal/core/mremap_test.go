@@ -62,6 +62,7 @@ func TestMremapShrinkInPlace(t *testing.T) {
 	if err != nil || nva != va {
 		t.Fatalf("shrink: %#x, %v", nva, err)
 	}
+	m.Quiesce() // trimmed frames free after the RCU grace period
 	if got := m.Phys.KindFrames(mem.KindAnon); got != 2 {
 		t.Errorf("frames after shrink = %d, want 2", got)
 	}

@@ -63,6 +63,62 @@ func TestOOMGraceful(t *testing.T) {
 	}
 }
 
+// TestOOMDuringPopulate: a MAP_POPULATE mmap that runs out of frames
+// partway must fail cleanly — the half-populated range is torn down, no
+// frames leak, and the freed VA range is safely reusable (a stale Marked
+// prefix would resurrect on the range's next tenant).
+func TestOOMDuringPopulate(t *testing.T) {
+	for _, p := range protocols {
+		t.Run(p.String(), func(t *testing.T) {
+			m := cpusim.New(cpusim.Config{Cores: 2, Frames: 256})
+			a, err := New(Options{Machine: m, Protocol: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Destroy(0)
+			// Burn all free frames, then release a handful: enough for the
+			// page tables and a few populated pages, not for all 64.
+			var burn []arch.PFN
+			for {
+				pfn, err := m.Phys.AllocFrame(0, mem.KindKernel)
+				if err != nil {
+					break
+				}
+				burn = append(burn, pfn)
+			}
+			for i := 0; i < 8 && len(burn) > 0; i++ {
+				m.Phys.Put(0, burn[len(burn)-1])
+				burn = burn[:len(burn)-1]
+			}
+			if _, err := a.Mmap(0, 64*arch.PageSize, arch.PermRW, mm.FlagPopulate); err == nil {
+				t.Fatal("populate succeeded with almost no memory")
+			} else if !errors.Is(err, mem.ErrOutOfMemory) {
+				t.Fatalf("populate failed with %v, want out-of-memory", err)
+			}
+			for _, pfn := range burn {
+				m.Phys.Put(0, pfn)
+			}
+			m.Quiesce()
+			checkWF(t, a)
+			if got := m.Phys.KindFrames(mem.KindAnon); got != 0 {
+				t.Errorf("failed populate leaked %d anon frames", got)
+			}
+			// The released VA range must be clean for its next tenant.
+			va, err := a.Mmap(0, 64*arch.PageSize, arch.PermRW, mm.FlagPopulate)
+			if err != nil {
+				t.Fatalf("mmap after recovery: %v", err)
+			}
+			for i := 0; i < 64; i++ {
+				b, err := a.Load(0, va+arch.Vaddr(i*arch.PageSize))
+				if err != nil || b != 0 {
+					t.Fatalf("populated page %d = %d, %v (stale state from failed populate?)", i, b, err)
+				}
+			}
+			checkWF(t, a)
+		})
+	}
+}
+
 // TestOOMDuringFork: fork failing mid-copy must clean up the partial
 // child without leaking frames or corrupting the parent.
 func TestOOMDuringFork(t *testing.T) {

@@ -36,50 +36,60 @@ func (a *AddrSpace) ReclaimRange(core int, va arch.Vaddr, size uint64, target in
 	defer c.Close()
 	c.needSync = true // A-bit clears and unmaps must be seen before reuse
 
-	accessedMask := a.isa.SetAccessed(0)
+	// One pass enumerates candidate runs — private anonymous 4-KiB
+	// mappings, with the hardware A bit deciding hot vs cold per run
+	// (runs break where the bit changes). The swaps mutate the tree, so
+	// they happen after the iteration.
+	var runs []Run
+	err = c.IterateMapped(va, va+arch.Vaddr(size), func(r Run) error {
+		if r.Status.Perm&(arch.PermShared|arch.PermCOW) == 0 && r.Status.HugeLevel < 2 {
+			runs = append(runs, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
 	reclaimed := 0
-	for off := uint64(0); off < size && reclaimed < target; off += arch.PageSize {
-		page := va + arch.Vaddr(off)
-		st, err := c.Query(page)
-		if err != nil {
-			return reclaimed, err
+	for _, r := range runs {
+		if reclaimed >= target {
+			break
 		}
-		if st.Kind != pt.StatusMapped || st.Perm&(arch.PermShared|arch.PermCOW) != 0 {
+		if r.Accessed {
+			// Recently used: clear the bits (second chance) in one range
+			// pass and move on. We hold the covering lock, so plain
+			// stores suffice; the queued shootdown forces re-walks that
+			// will set them again.
+			if err := c.ClearAccessed(r.VA, r.End()); err != nil {
+				return reclaimed, err
+			}
 			continue
 		}
-		head := a.m.Phys.HeadOf(st.Page)
-		d := a.m.Phys.Desc(head)
-		if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
-			continue
+		for i := uint64(0); i < r.Pages && reclaimed < target; i++ {
+			page := r.VA + arch.Vaddr(i*arch.PageSize)
+			pfn := r.Status.Page + arch.PFN(i)
+			head := a.m.Phys.HeadOf(pfn)
+			d := a.m.Phys.Desc(head)
+			if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
+				continue
+			}
+			// Cold page: swap it out.
+			block := a.swapDev.AllocBlock()
+			a.swapDev.Write(block, a.m.Phys.DataPage(pfn))
+			if err := c.Unmap(page, page+arch.PageSize); err != nil {
+				a.swapDev.FreeBlock(block)
+				return reclaimed, err
+			}
+			err := c.Mark(page, page+arch.PageSize, pt.Status{
+				Kind: pt.StatusSwapped, Perm: r.Status.Perm, Dev: a.swapDev, Block: block, Key: r.Status.Key,
+			})
+			if err != nil {
+				a.swapDev.FreeBlock(block)
+				return reclaimed, err
+			}
+			a.stats.SwapOuts.Add(1)
+			reclaimed++
 		}
-		pte, level, ok := a.tree.Walk(page)
-		if !ok || level != 1 {
-			continue // huge pages are not reclaimed by the clock
-		}
-		if a.isa.Accessed(pte) {
-			// Recently used: clear the bit (second chance) and move on.
-			// We hold the covering lock, so a plain store suffices; the
-			// queued shootdown forces re-walks that will set it again.
-			a.tree.StorePTE(c.leafPTOf(page), arch.IndexAt(page, 1), pte&^accessedMask)
-			c.noteFlush(page, 1)
-			continue
-		}
-		// Cold page: swap it out.
-		block := a.swapDev.AllocBlock()
-		a.swapDev.Write(block, a.m.Phys.DataPage(st.Page))
-		if err := c.Unmap(page, page+arch.PageSize); err != nil {
-			a.swapDev.FreeBlock(block)
-			return reclaimed, err
-		}
-		err = c.Mark(page, page+arch.PageSize, pt.Status{
-			Kind: pt.StatusSwapped, Perm: st.Perm, Dev: a.swapDev, Block: block, Key: st.Key,
-		})
-		if err != nil {
-			a.swapDev.FreeBlock(block)
-			return reclaimed, err
-		}
-		a.stats.SwapOuts.Add(1)
-		reclaimed++
 	}
 	return reclaimed, nil
 }
@@ -104,52 +114,52 @@ func (a *AddrSpace) MadviseDontNeed(core int, va arch.Vaddr, size uint64) error 
 	defer c.Close()
 	c.needSync = true // dropped frames are reused immediately
 
-	for off := uint64(0); off < size; off += arch.PageSize {
-		page := va + arch.Vaddr(off)
-		st, err := c.Query(page)
-		if err != nil {
+	// Collect resident runs first (the release mutates the tree), then
+	// drop each run with one Unmap + one Mark per span of pages whose
+	// restored statuses form one sliding sequence — a whole anonymous
+	// run costs two range operations instead of two per page.
+	var runs []Run
+	err = c.IterateMapped(va, va+arch.Vaddr(size), func(r Run) error {
+		runs = append(runs, r)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	restore := func(lo, hi arch.Vaddr, s pt.Status) error {
+		if err := c.Unmap(lo, hi); err != nil {
 			return err
 		}
-		if st.Kind != pt.StatusMapped {
-			continue
-		}
-		head := a.m.Phys.HeadOf(st.Page)
-		d := a.m.Phys.Desc(head)
-		var restored pt.Status
-		if d.RMap.File != nil {
-			kind := pt.StatusPrivateFile
-			if st.Perm&arch.PermShared != 0 {
-				kind = pt.StatusSharedFile
+		return c.Mark(lo, hi, s)
+	}
+	for _, r := range runs {
+		restoredAt := func(i uint64) pt.Status {
+			st := r.Status.SlidBy(i)
+			perm := logicalPerm(st.Perm) &^ (arch.PermCOW | arch.PermShared)
+			head := a.m.Phys.HeadOf(st.Page)
+			if d := a.m.Phys.Desc(head); d.RMap.File != nil {
+				kind := pt.StatusPrivateFile
+				if st.Perm&arch.PermShared != 0 {
+					kind = pt.StatusSharedFile
+				}
+				return pt.Status{Kind: kind, Perm: perm, File: d.RMap.File, Off: d.RMap.Index, Key: st.Key}
 			}
-			restored = pt.Status{Kind: kind, Perm: logicalPerm(st.Perm) &^ (arch.PermCOW | arch.PermShared),
-				File: d.RMap.File, Off: d.RMap.Index, Key: st.Key}
-		} else {
-			restored = pt.Status{Kind: pt.StatusPrivateAnon,
-				Perm: logicalPerm(st.Perm) &^ (arch.PermCOW | arch.PermShared), Key: st.Key}
+			return pt.Status{Kind: pt.StatusPrivateAnon, Perm: perm, Key: st.Key}
 		}
-		if err := c.Unmap(page, page+arch.PageSize); err != nil {
-			return err
+		spanStart := uint64(0)
+		spanStatus := restoredAt(0)
+		for i := uint64(1); i < r.Pages; i++ {
+			if want := restoredAt(i); want != spanStatus.SlidBy(i-spanStart) {
+				lo := r.VA + arch.Vaddr(spanStart*arch.PageSize)
+				if err := restore(lo, r.VA+arch.Vaddr(i*arch.PageSize), spanStatus); err != nil {
+					return err
+				}
+				spanStart, spanStatus = i, want
+			}
 		}
-		if err := c.Mark(page, page+arch.PageSize, restored); err != nil {
+		if err := restore(r.VA+arch.Vaddr(spanStart*arch.PageSize), r.End(), spanStatus); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// leafPTOf returns the level-1 PT page covering page; the caller must
-// have verified via Walk that the full path exists.
-func (c *RCursor) leafPTOf(page arch.Vaddr) arch.PFN {
-	t, isa := c.a.tree, c.a.isa
-	cur, level := c.root, c.rootLevel
-	base := c.rootBase
-	for level > 1 {
-		span := arch.SpanBytes(level)
-		idx := int(uint64(page-base) / span)
-		pte := t.LoadPTE(cur, idx)
-		cur = isa.PFNOf(pte)
-		base += arch.Vaddr(uint64(idx) * span)
-		level--
-	}
-	return cur
 }

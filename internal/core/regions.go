@@ -46,7 +46,7 @@ func (a *AddrSpace) Regions(core int) ([]Region, error) {
 		}
 	}
 	var cur Region
-	a.walkRegions(c, a.tree.Root, arch.Levels, 0, func(lo, hi arch.Vaddr, kind pt.StatusKind, perm arch.Perm, resident int) {
+	visit := func(lo, hi arch.Vaddr, kind pt.StatusKind, perm arch.Perm, resident int) {
 		// Normalize: a mapped COW page belongs to the same logical
 		// region as its writable neighbours.
 		normPerm := logicalPerm(perm) &^ (arch.PermCOW | arch.PermShared)
@@ -57,7 +57,40 @@ func (a *AddrSpace) Regions(core int) ([]Region, error) {
 		}
 		flush(&cur)
 		cur = Region{Start: lo, End: hi, Kind: regionKind(kind), Perm: normPerm, Resident: resident}
+	}
+	err = c.Iterate(0, arch.MaxVaddr, func(r Run) error {
+		if r.Status.Kind != pt.StatusMapped {
+			visit(r.VA, r.End(), r.Status.Kind, r.Status.Perm, 0)
+			return nil
+		}
+		// Classify mapped pages through the frame descriptor so a file
+		// region does not merge with anon neighbours, splitting the run
+		// where the backing class changes.
+		classify := func(i uint64) pt.StatusKind {
+			head := a.m.Phys.HeadOf(r.Status.Page + arch.PFN(i))
+			if d := a.m.Phys.Desc(head); d.RMap.File != nil {
+				if r.Status.Perm&arch.PermShared != 0 {
+					return pt.StatusSharedFile
+				}
+				return pt.StatusPrivateFile
+			}
+			return pt.StatusMapped
+		}
+		start := uint64(0)
+		kind := classify(0)
+		for i := uint64(1); i < r.Pages; i++ {
+			if k := classify(i); k != kind {
+				visit(r.VA+arch.Vaddr(start*arch.PageSize), r.VA+arch.Vaddr(i*arch.PageSize),
+					kind, r.Status.Perm, int(i-start))
+				start, kind = i, k
+			}
+		}
+		visit(r.VA+arch.Vaddr(start*arch.PageSize), r.End(), kind, r.Status.Perm, int(r.Pages-start))
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	flush(&cur)
 	return out, nil
 }
@@ -70,41 +103,6 @@ func regionKind(k pt.StatusKind) pt.StatusKind {
 		return pt.StatusPrivateAnon
 	}
 	return k
-}
-
-// walkRegions visits every allocated span under pfn in address order.
-func (a *AddrSpace) walkRegions(c *RCursor, pfn arch.PFN, level int, base arch.Vaddr,
-	visit func(lo, hi arch.Vaddr, kind pt.StatusKind, perm arch.Perm, resident int)) {
-
-	t, isa := a.tree, a.isa
-	span := arch.SpanBytes(level)
-	for idx := 0; idx < arch.PTEntries; idx++ {
-		entryLo := base + arch.Vaddr(uint64(idx)*span)
-		pte := t.LoadPTE(pfn, idx)
-		if isa.IsPresent(pte) {
-			if isa.IsLeaf(pte, level) {
-				pages := int(span / arch.PageSize)
-				kind := pt.StatusMapped
-				// Classify file-backed pages through the descriptor so
-				// a file region does not merge with anon neighbours.
-				head := a.m.Phys.HeadOf(isa.PFNOf(pte))
-				if d := a.m.Phys.Desc(head); d.RMap.File != nil {
-					if isa.PermOf(pte)&arch.PermShared != 0 {
-						kind = pt.StatusSharedFile
-					} else {
-						kind = pt.StatusPrivateFile
-					}
-				}
-				visit(entryLo, entryLo+arch.Vaddr(span), kind, isa.PermOf(pte), pages)
-				continue
-			}
-			a.walkRegions(c, isa.PFNOf(pte), level-1, entryLo, visit)
-			continue
-		}
-		if s := t.GetMeta(pfn, idx); s.Kind != pt.StatusInvalid {
-			visit(entryLo, entryLo+arch.Vaddr(span), s.Kind, s.Perm, 0)
-		}
-	}
 }
 
 // DumpLayout writes the /proc/maps-style layout to w.

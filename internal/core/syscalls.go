@@ -75,13 +75,19 @@ func (a *AddrSpace) mmapAt(core int, va arch.Vaddr, size uint64, perm arch.Perm,
 		s.HugeLevel = 2
 	}
 	if err := c.Mark(va, va+arch.Vaddr(size), s); err != nil {
+		// A failed Mark may have marked a prefix; do not leave it behind
+		// when the caller frees the VA range back to the allocator.
+		_ = c.Unmap(va, va+arch.Vaddr(size))
 		return err
 	}
 	if fl&mm.FlagPopulate != 0 {
-		for off := uint64(0); off < size; off += arch.PageSize {
-			if err := a.faultIn(core, c, va+arch.Vaddr(off), pt.AccessRead); err != nil {
-				return err
-			}
+		if err := c.PopulateAnon(va, va+arch.Vaddr(size)); err != nil {
+			// Mid-population failure (OOM): the caller frees the VA range
+			// on error, so a half-populated, still-Marked range would leak
+			// frames and resurrect on the range's next tenant. Tear it
+			// all down before reporting.
+			_ = c.Unmap(va, va+arch.Vaddr(size))
+			return err
 		}
 	}
 	return nil
@@ -148,6 +154,7 @@ func (a *AddrSpace) Munmap(core int, va arch.Vaddr, size uint64) error {
 	if err != nil {
 		return err
 	}
+	a.pruneFileMappings(va, va+arch.Vaddr(size))
 	if sz, ok := a.trackedVA(va); ok && sz == size {
 		a.untrackVA(va)
 		a.valloc.Free(core, va, size)
@@ -185,26 +192,22 @@ func (a *AddrSpace) Msync(core int, va arch.Vaddr, size uint64) error {
 		return err
 	}
 	defer c.Close()
-	for off := uint64(0); off < size; off += arch.PageSize {
-		page := va + arch.Vaddr(off)
-		st, err := c.Query(page)
-		if err != nil {
-			return err
+	// One pass over the locked subtree, resident pages only (metadata
+	// entries have nothing to write back); runs carry the hardware D
+	// bit, so only dirty shared runs cost per-page descriptor work.
+	return c.IterateMapped(va, va+arch.Vaddr(size), func(r Run) error {
+		if r.Status.Perm&arch.PermShared == 0 || !r.Dirty {
+			return nil
 		}
-		if st.Kind != pt.StatusMapped || st.Perm&arch.PermShared == 0 {
-			continue
+		for i := uint64(0); i < r.Pages; i++ {
+			head := a.m.Phys.HeadOf(r.Status.Page + arch.PFN(i))
+			d := a.m.Phys.Desc(head)
+			if d.RMap.File != nil {
+				d.RMap.File.Writeback(d.RMap.Index)
+			}
 		}
-		// Only dirty pages need writeback; the hardware D bit tells us.
-		if pte, _, ok := a.tree.Walk(page); !ok || !a.isa.Dirty(pte) {
-			continue
-		}
-		head := a.m.Phys.HeadOf(st.Page)
-		d := a.m.Phys.Desc(head)
-		if d.RMap.File != nil {
-			d.RMap.File.Writeback(d.RMap.Index)
-		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Touch implements mm.MM: one simulated user access, faulting as needed.
@@ -214,22 +217,54 @@ func (a *AddrSpace) Touch(core int, va arch.Vaddr, acc pt.Access) error {
 }
 
 // Load implements mm.MM.
-func (a *AddrSpace) Load(core int, va arch.Vaddr) (byte, error) {
-	tr, err := a.translate(core, va, pt.AccessRead)
-	if err != nil {
-		return 0, err
-	}
-	return a.m.Phys.DataPage(tr.PFN)[va&(arch.PageSize-1)], nil
+func (a *AddrSpace) Load(core int, va arch.Vaddr) (b byte, err error) {
+	err = a.access(core, va, pt.AccessRead, func(page []byte, off uint64) {
+		b = page[off]
+	})
+	return b, err
 }
 
 // Store implements mm.MM.
 func (a *AddrSpace) Store(core int, va arch.Vaddr, b byte) error {
-	tr, err := a.translate(core, va, pt.AccessWrite)
-	if err != nil {
-		return err
+	return a.access(core, va, pt.AccessWrite, func(page []byte, off uint64) {
+		page[off] = b
+	})
+}
+
+// access performs one simulated user data access. Translation and the
+// byte access happen inside a single RCU read-side critical section:
+// on hardware, an access that has passed translation retires before
+// the unmapping core's shootdown IPI is acknowledged, so the frame
+// cannot be recycled underneath it. The read section models exactly
+// that window — shootAndFree routes data-frame frees through the RCU
+// monitor, so a frame whose mapping this core could have observed
+// stays allocated until the access completes. The page-fault path runs
+// outside the section (it takes the address-space lock and must not
+// stall grace periods).
+func (a *AddrSpace) access(core int, va arch.Vaddr, acc pt.Access, fn func(page []byte, off uint64)) error {
+	if va >= arch.MaxVaddr {
+		return errSegv
 	}
-	a.m.Phys.DataPage(tr.PFN)[va&(arch.PageSize-1)] = b
-	return nil
+	page := arch.PageAlignDown(va)
+	for tries := 0; tries < 64; tries++ {
+		a.m.RCU.ReadLock(core)
+		tr, ok := a.m.TLB.Lookup(core, a.asid, page)
+		if !ok || !tr.Perm.Contains(acc.Needs()) {
+			if tr, ok = a.tree.WalkAccess(va, acc); ok {
+				a.m.TLB.Insert(core, a.asid, page, tr)
+			}
+		}
+		if ok {
+			fn(a.m.Phys.DataPage(tr.PFN), uint64(va&(arch.PageSize-1)))
+			a.m.RCU.ReadUnlock(core)
+			return nil
+		}
+		a.m.RCU.ReadUnlock(core)
+		if err := a.pageFault(core, va, acc); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("core: translation livelock at %#x", va)
 }
 
 // translate is the simulated access path: TLB lookup, hardware walk,

@@ -184,6 +184,16 @@ func (c *pcpCache) pop() (arch.PFN, bool) {
 	return pfn, true
 }
 
+// popN pops up to len(out) frames under one lock acquisition.
+func (c *pcpCache) popN(out []arch.PFN) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := min(len(out), len(c.frames))
+	copy(out[:n], c.frames[len(c.frames)-n:])
+	c.frames = c.frames[:len(c.frames)-n]
+	return n
+}
+
 func (c *pcpCache) fill(batch []arch.PFN) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -145,6 +145,23 @@ func (m *PhysMem) AllocFrame(core int, kind Kind) (arch.PFN, error) {
 	return pfn, nil
 }
 
+// AllocFrameBatch allocates up to len(out) order-0 frames of the given
+// kind in one shot, draining the core's cache and the buddy under one
+// lock acquisition each instead of one per frame — the bulk-populate
+// path. Returns the number of frames obtained; fewer than requested
+// (possibly zero) means physical memory is exhausted. Each frame starts
+// with Ref == 1, exactly as from AllocFrame.
+func (m *PhysMem) AllocFrameBatch(core int, kind Kind, out []arch.PFN) int {
+	n := m.pcp[core].popN(out)
+	if n < len(out) {
+		n += m.buddy.allocBatch(out[n:])
+	}
+	for _, pfn := range out[:n] {
+		m.initFrame(pfn, kind, 0)
+	}
+	return n
+}
+
 // AllocFrames allocates a naturally aligned contiguous block of 2^order
 // frames (order 9 = 2 MiB huge page, order 18 = 1 GiB). Ref starts at 1
 // on the head frame.

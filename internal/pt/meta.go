@@ -80,12 +80,18 @@ type Status struct {
 func (s Status) Allocated() bool { return s.Kind != StatusInvalid }
 
 // SlidBy returns the status for a sub-span starting pages pages into the
-// span s describes; file offsets advance, everything else is unchanged.
-// This is how an upper-level status is pushed down on a split.
+// span s describes; file offsets and mapped frames advance, everything
+// else is unchanged. This is how an upper-level status is pushed down on
+// a split, and how a range iterator extends a run: run statuses are
+// "sliding" — page i of a run has status SlidBy(i). (Mapped never
+// appears in metadata arrays; its case serves query/iterate results,
+// where physically contiguous pages coalesce into one run.)
 func (s Status) SlidBy(pages uint64) Status {
 	switch s.Kind {
 	case StatusPrivateFile, StatusSharedFile, StatusSharedAnon:
 		s.Off += pages
+	case StatusMapped:
+		s.Page += arch.PFN(pages)
 	}
 	return s
 }

@@ -178,7 +178,7 @@ func (s *Space) Munmap(core int, va arch.Vaddr, size uint64) error {
 	s.stats.Munmaps.Add(1)
 	s.m.OpTick(core)
 	var freed []arch.PFN
-	var flush []arch.Vaddr
+	var flush []tlb.Range
 	for off := uint64(0); off < size; off += arch.PageSize {
 		page := va + arch.Vaddr(off)
 		sh := s.shardOf(page)
@@ -204,13 +204,18 @@ func (s *Space) Munmap(core int, va arch.Vaddr, size uint64) error {
 			d := s.m.Phys.Desc(mp.frame)
 			d.MapCount.Store(0)
 			freed = append(freed, mp.frame)
-			flush = append(flush, page)
+			// Coalesce adjacent pages into one invalidation range.
+			if n := len(flush); n > 0 && flush[n-1].Hi == page {
+				flush[n-1].Hi = page + arch.PageSize
+			} else {
+				flush = append(flush, tlb.Range{Lo: page, Hi: page + arch.PageSize})
+			}
 		}
 	}
 	if len(flush) > 32 {
 		s.m.TLB.ShootdownAll(core, s.asid)
 	} else if len(flush) > 0 {
-		s.m.TLB.Shootdown(core, s.asid, flush)
+		s.m.TLB.ShootdownRanges(core, s.asid, flush)
 	}
 	for _, pfn := range freed {
 		s.m.Phys.Put(core, pfn)

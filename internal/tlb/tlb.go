@@ -71,12 +71,20 @@ type coreTLB struct {
 	_ [32]byte
 }
 
+// Range is a half-open virtual-address range [Lo, Hi) of page-aligned
+// addresses, the unit of a coalesced shootdown: unmapping 1 GiB issues
+// one range invalidation instead of 256 Ki single-page ones.
+type Range struct {
+	Lo, Hi arch.Vaddr
+}
+
 // Invalidation is one pending shootdown request.
 type Invalidation struct {
 	ASID ASID
-	// VA is the page to invalidate; All=true invalidates the whole ASID.
-	VA  arch.Vaddr
-	All bool
+	// [Lo, Hi) is the page range to invalidate; All=true invalidates the
+	// whole ASID instead.
+	Lo, Hi arch.Vaddr
+	All    bool
 }
 
 // Machine is the TLB hardware of the whole simulated machine.
@@ -139,6 +147,11 @@ func (m *Machine) FlushLocal(core int, asid ASID, va arch.Vaddr) {
 	c.mu.Unlock()
 }
 
+// FlushLocalRange removes asid's entries in [lo, hi) from core's own TLB.
+func (m *Machine) FlushLocalRange(core int, asid ASID, lo, hi arch.Vaddr) {
+	m.apply(&m.cores[core], Invalidation{ASID: asid, Lo: lo, Hi: hi})
+}
+
 // FlushLocalAll removes all of asid's entries from core's own TLB.
 func (m *Machine) FlushLocalAll(core int, asid ASID) {
 	m.apply(&m.cores[core], Invalidation{ASID: asid, All: true})
@@ -146,14 +159,27 @@ func (m *Machine) FlushLocalAll(core int, asid ASID) {
 
 func (m *Machine) apply(c *coreTLB, inv Invalidation) {
 	c.mu.Lock()
-	if inv.All {
+	switch {
+	case inv.All:
 		for k := range c.entries {
 			if k.asid == inv.ASID {
 				delete(c.entries, k)
 			}
 		}
-	} else {
-		delete(c.entries, key{inv.ASID, inv.VA})
+	case uint64(inv.Hi-inv.Lo) <= arch.PageSize:
+		delete(c.entries, key{inv.ASID, inv.Lo})
+	case uint64(inv.Hi-inv.Lo)/arch.PageSize <= uint64(len(c.entries)):
+		for va := inv.Lo; va < inv.Hi; va += arch.PageSize {
+			delete(c.entries, key{inv.ASID, va})
+		}
+	default:
+		// The range is wider than the TLB is full: sweeping the entries
+		// beats probing every page in the range.
+		for k := range c.entries {
+			if k.asid == inv.ASID && k.va >= inv.Lo && k.va < inv.Hi {
+				delete(c.entries, k)
+			}
+		}
 	}
 	c.mu.Unlock()
 }
@@ -164,9 +190,40 @@ func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
 	m.shootdowns.Add(1)
 	invs := make([]Invalidation, len(vas))
 	for i, va := range vas {
-		invs[i] = Invalidation{ASID: asid, VA: va}
+		invs[i] = Invalidation{ASID: asid, Lo: va, Hi: va + arch.PageSize}
 	}
 	m.shoot(initiator, invs)
+}
+
+// ShootdownRanges invalidates the given VA ranges of asid on every core
+// using the configured protocol — the coalesced counterpart of Shootdown
+// that range unmaps use.
+func (m *Machine) ShootdownRanges(initiator int, asid ASID, ranges []Range) {
+	m.shootdowns.Add(1)
+	m.shoot(initiator, rangeInvs(asid, ranges))
+}
+
+// ShootdownRangesSync invalidates the given VA ranges on every core
+// immediately regardless of the configured protocol (see ShootdownSync).
+func (m *Machine) ShootdownRangesSync(initiator int, asid ASID, ranges []Range) {
+	m.shootdowns.Add(1)
+	invs := rangeInvs(asid, ranges)
+	for i := range m.cores {
+		if i != initiator {
+			m.ipis.Add(1)
+		}
+		for _, inv := range invs {
+			m.apply(&m.cores[i], inv)
+		}
+	}
+}
+
+func rangeInvs(asid ASID, ranges []Range) []Invalidation {
+	invs := make([]Invalidation, len(ranges))
+	for i, r := range ranges {
+		invs[i] = Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi}
+	}
+	return invs
 }
 
 // ShootdownAll invalidates every entry of asid on every core (used for
@@ -187,7 +244,7 @@ func (m *Machine) ShootdownSync(initiator int, asid ASID, vas []arch.Vaddr) {
 			m.ipis.Add(1)
 		}
 		for _, va := range vas {
-			m.apply(&m.cores[i], Invalidation{ASID: asid, VA: va})
+			m.apply(&m.cores[i], Invalidation{ASID: asid, Lo: va, Hi: va + arch.PageSize})
 		}
 	}
 }
