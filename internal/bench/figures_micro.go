@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cortenmm/internal/arch"
+	"cortenmm/internal/tlb"
 	"cortenmm/internal/workload"
 )
 
@@ -14,6 +15,10 @@ type MicroCell struct {
 	Contention workload.Contention
 	Threads    int
 	OpsPerSec  float64
+	// TLB is the machine's TLB counter snapshot from the best repeat:
+	// hit rate, shootdown fan-out, presence filtering, deferred-queue
+	// activity (see EXPERIMENTS.md for the column meanings).
+	TLB tlb.Stats
 }
 
 // microSupports reports whether a system can run an op (NrOS lacks
@@ -46,15 +51,27 @@ func runMicroCell(sys System, isa arch.ISA, op workload.MicroOp, cont workload.C
 		res, err := workload.RunMicro(env.Machine, env.Sys, workload.MicroConfig{
 			Op: wop, Contention: cont, Threads: threads, Iters: iters,
 		})
+		st := env.Machine.TLBStats()
 		env.Close()
 		if err != nil {
 			return MicroCell{}, err
 		}
 		if v := res.OpsPerSec(); v > best.OpsPerSec {
 			best.OpsPerSec = v
+			best.TLB = st
 		}
 	}
 	return best, nil
+}
+
+// printTLBLine emits the companion TLB-counter row for a measured cell.
+func printTLBLine(o Options, fig string, cell MicroCell) {
+	st := cell.TLB
+	fmt.Fprintf(o.W,
+		"%s-tlb op=%-10s contention=%-4s threads=%-3d sys=%s hitrate=%.3f lookups=%d shootdowns=%d ipis=%d filtered=%d deferred=%d applied=%d genbumps=%d evictions=%d staledrops=%d\n",
+		fig, cell.Op, cell.Contention, cell.Threads, cell.System,
+		st.HitRate(), st.Lookups, st.Shootdowns, st.IPIs, st.Filtered,
+		st.Deferred, st.Applied, st.GenBumps, st.Evictions, st.StaleDrops)
 }
 
 // Fig1 regenerates the teaser: multicore throughput of (a) mmap+access
@@ -123,6 +140,7 @@ func Fig14(o Options) ([]MicroCell, error) {
 		for _, op := range workload.AllMicroOps {
 			for _, threads := range o.Threads {
 				fmt.Fprintf(o.W, "fig14 op=%-10s contention=%-4s threads=%-3d", op, cont, threads)
+				var rowCorten []MicroCell
 				for _, sys := range AllSystems {
 					if !microSupports(sys, op) {
 						continue
@@ -132,9 +150,16 @@ func Fig14(o Options) ([]MicroCell, error) {
 						return nil, fmt.Errorf("fig14 %s/%s/%s/%d: %w", sys, op, cont, threads, err)
 					}
 					out = append(out, cell)
+					if sys == CortenRW || sys == CortenAdv {
+						rowCorten = append(rowCorten, cell)
+					}
 					fmt.Fprintf(o.W, " %s=%.0f", sys, cell.OpsPerSec)
 				}
 				fmt.Fprintln(o.W)
+				// Companion TLB-counter rows for the systems under study.
+				for _, cell := range rowCorten {
+					printTLBLine(o, "fig14", cell)
+				}
 			}
 		}
 	}

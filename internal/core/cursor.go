@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cortenmm/internal/arch"
 	"cortenmm/internal/mem"
@@ -313,8 +314,60 @@ func (c *RCursor) ensureChild(pfn arch.PFN, level, idx int, entryLo arch.Vaddr) 
 func (c *RCursor) releaseLeaf(pte uint64, level int, va arch.Vaddr) {
 	head := c.a.m.Phys.HeadOf(c.a.isa.PFNOf(pte))
 	c.a.m.Phys.Desc(head).MapCount.Add(-1)
-	c.freed = append(c.freed, head)
+	c.noteFreed(head)
 	c.noteFlush(va, level)
+}
+
+// noteFreed queues a frame head for release after the shootdown,
+// extending the previous run when the heads are physically contiguous —
+// bulk-populated regions tear down into a handful of runs instead of
+// one slice element per page. Extending by stride 1 is always sound:
+// run element i stands for exactly the head at head+i, so huge-block
+// heads (which are never adjacent to their own tail frames) still get
+// their own Put.
+func (c *RCursor) noteFreed(head arch.PFN) {
+	if n := len(c.freed); n > 0 {
+		if last := &c.freed[n-1]; last.head+arch.PFN(last.n) == head {
+			last.n++
+			return
+		}
+	}
+	c.freed = append(c.freed, pfnRun{head: head, n: 1})
+}
+
+// clearLeafTable tears down a fully covered level-1 table in one sweep:
+// one atomic load plus one mapcount drop per present page, one
+// coalesced flush for the whole 2-MiB span. The generic walk's
+// per-entry work — SetPTE(0) with Present bookkeeping, a metadata probe
+// per entry — is skipped: the table is about to be unlinked wholesale
+// (the caller follows with removeChild), and a fresh PT page's word
+// array is zero-allocated, so the dying PTEs need no scrubbing. Until
+// the parent entry is cleared, lockless traversers may still read the
+// live leaves; that window existed with per-entry clearing too and is
+// covered by the RCU-deferred frame release.
+func (c *RCursor) clearLeafTable(child arch.PFN, base arch.Vaddr) {
+	t, isa := c.a.tree, c.a.isa
+	phys := c.a.m.Phys
+	st := t.State(child)
+	if st.MetaCnt > 0 {
+		for i := 0; i < arch.PTEntries; i++ {
+			c.dropMeta(child, i)
+		}
+	}
+	if st.Present > 0 {
+		words := t.Words(child)
+		for i := range words {
+			w := atomic.LoadUint64(&words[i])
+			if !isa.IsPresent(w) {
+				continue
+			}
+			head := phys.HeadOf(isa.PFNOf(w))
+			phys.Desc(head).MapCount.Add(-1)
+			c.noteFreed(head)
+		}
+		st.Present = 0
+	}
+	c.noteFlush(base, 2)
 }
 
 // noteFlush queues a TLB invalidation for the leaf span at va,

@@ -36,7 +36,7 @@ type RCursor struct {
 	flush    []tlb.Range // coalesced VA ranges whose translations must die
 	flushAll bool        // flush the whole ASID instead
 	needSync bool        // permission tightening: must not be lazy
-	freed    []arch.PFN  // frame heads to release after the shootdown
+	freed    []pfnRun    // frame-head runs to release after the shootdown
 
 	closed bool
 	cached bool // lives in the per-core cursor cache
@@ -46,7 +46,16 @@ type RCursor struct {
 	readPathArr [arch.Levels]arch.PFN
 	lockedArr   [8]arch.PFN
 	flushArr    [8]tlb.Range
-	freedArr    [8]arch.PFN
+	freedArr    [8]pfnRun
+}
+
+// pfnRun is a run of physically contiguous frame heads queued for
+// release: head, head+1, …, head+n-1. Teardown of bulk-populated
+// regions coalesces thousands of frees into a handful of runs, which
+// keeps the copy handed to the RCU monitor off the unmap critical path.
+type pfnRun struct {
+	head arch.PFN
+	n    uint32
 }
 
 // reset prepares a (possibly recycled) cursor for a new transaction,
@@ -289,12 +298,11 @@ func (c *RCursor) shootAndFree() {
 	case len(c.flush) > 0:
 		if c.needSync {
 			a.m.TLB.ShootdownRangesSync(c.core, a.asid, c.flush)
-		} else if len(c.flush) > 32 {
-			// Like Linux, a large batch of disjoint ranges flushes the
-			// whole ASID. (Contiguous teardown coalesces into one range
-			// and never hits this.)
-			a.m.TLB.ShootdownAll(c.core, a.asid)
 		} else {
+			// Large disjoint batches no longer need Linux's full-ASID
+			// escape hatch: a shootdown costs a bounded number of
+			// generation records per core however many ranges it
+			// carries (dense batches collapse to their envelope).
 			a.m.TLB.ShootdownRanges(c.core, a.asid, c.flush)
 		}
 	}
@@ -303,11 +311,13 @@ func (c *RCursor) shootAndFree() {
 	}
 	core := c.core
 	// The cursor may be recycled before the grace period ends, so the
-	// deferred free needs its own copy of the list.
-	freed := append([]arch.PFN(nil), c.freed...)
+	// deferred free needs its own copy of the run list.
+	freed := append([]pfnRun(nil), c.freed...)
 	a.m.RCU.Defer(func() {
-		for _, pfn := range freed {
-			a.m.Phys.Put(core, pfn)
+		for _, r := range freed {
+			for i := uint32(0); i < r.n; i++ {
+				a.m.Phys.Put(core, r.head+arch.PFN(i))
+			}
 		}
 	})
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"cortenmm/internal/arch"
@@ -86,6 +87,100 @@ func TestEarlyAckDrainOnAccess(t *testing.T) {
 		t.Errorf("early-ack let a stale translation through: %v", err)
 	}
 	m.Quiesce()
+}
+
+// TestShootdownStalenessModel pins the staleness contract of each
+// protocol while concurrent faulting traffic hammers the TLB fast
+// paths:
+//   - sync: the moment Munmap (and its Shootdown) returns, no core's
+//     Lookup may return the dead translation;
+//   - early-ack: the target's Lookup drains its inbox first, so the
+//     dead translation is never returned either;
+//   - LATR: the stale window must close by the next cpusim.Quiesce().
+//
+// Faulter goroutines on cores 1 and 2 keep storing to (and
+// periodically remapping) their own regions the whole time, so the
+// assertions hold under live Insert/Lookup/Shootdown concurrency — and
+// the -race run proves the mutex-free paths clean.
+func TestShootdownStalenessModel(t *testing.T) {
+	for _, mode := range []tlb.Mode{tlb.ModeSync, tlb.ModeEarlyAck, tlb.ModeLATR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a, m := newSpaceTLB(t, mode)
+			stop := make(chan struct{})
+			var once sync.Once
+			halt := func() { once.Do(func() { close(stop) }) }
+			defer halt()
+
+			const faultPages = 32
+			done := make(chan error, 2)
+			for _, core := range []int{1, 2} {
+				core := core
+				go func() {
+					base, err := a.Mmap(core, faultPages*arch.PageSize, arch.PermRW, 0)
+					if err != nil {
+						done <- err
+						return
+					}
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							done <- nil
+							return
+						default:
+						}
+						if i%256 == 255 {
+							// Churn: tear the region down (issuing this
+							// core's own shootdowns) and remap it.
+							if err := a.Munmap(core, base, faultPages*arch.PageSize); err != nil {
+								done <- err
+								return
+							}
+							if base, err = a.Mmap(core, faultPages*arch.PageSize, arch.PermRW, 0); err != nil {
+								done <- err
+								return
+							}
+						}
+						va := base + arch.Vaddr(i%faultPages)*arch.PageSize
+						if err := a.Store(core, va, byte(i)); err != nil {
+							done <- err
+							return
+						}
+					}
+				}()
+			}
+
+			asid := a.ASID()
+			for iter := 0; iter < 40; iter++ {
+				va, err := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Core 3 (used by no one else) caches the translation.
+				if err := a.Store(3, va, 9); err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Munmap(0, va, arch.PageSize); err != nil {
+					t.Fatal(err)
+				}
+				if mode == tlb.ModeLATR {
+					// A hit inside the window is legal; Quiesce closes it.
+					m.Quiesce()
+				}
+				if _, ok := m.TLB.Lookup(3, asid, va); ok {
+					t.Fatalf("iter %d: core 3 still translates %#x after unmap", iter, va)
+				}
+			}
+
+			halt()
+			for i := 0; i < 2; i++ {
+				if err := <-done; err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.Quiesce()
+			a.Destroy(0)
+		})
+	}
 }
 
 // TestProtectIsNeverLazy: permission tightening must be visible

@@ -94,9 +94,16 @@ func (c *RCursor) walkRange(v *walkOps, pfn arch.PFN, level int, base, lo, hi ar
 					t.SetPTE(pfn, idx, 0)
 				} else {
 					child := isa.PFNOf(pte)
-					// Full coverage below: the clear visitor never needs
-					// to split, so this cannot fail.
-					_ = c.walkRange(&clearWalk, child, level-1, entryLo, entryLo, entryHi)
+					if level == 2 {
+						// The child is a level-1 leaf table that dies
+						// wholesale: sweep it directly instead of paying
+						// the generic per-entry visitor machinery.
+						c.clearLeafTable(child, entryLo)
+					} else {
+						// Full coverage below: the clear visitor never
+						// needs to split, so this cannot fail.
+						_ = c.walkRange(&clearWalk, child, level-1, entryLo, entryLo, entryHi)
+					}
 					c.removeChild(pfn, idx, child)
 				}
 				present = false

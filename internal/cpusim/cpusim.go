@@ -113,10 +113,17 @@ func (m *Machine) OpTick(core int) {
 
 // Quiesce drains all deferred work (RCU callbacks, pending TLB
 // invalidations) — used between benchmark phases and in tests before
-// checking invariants.
+// checking invariants. After Quiesce returns, every queued
+// invalidation has been turned into epoch-cell generation bumps on all
+// cores, so no lookup anywhere can return a translation a completed
+// shootdown covered (the LATR staleness window is closed).
 func (m *Machine) Quiesce() {
 	m.RCU.Barrier()
 	for c := 0; c < m.Cores; c++ {
 		m.TLB.Tick(c)
 	}
 }
+
+// TLBStats snapshots the TLB counters — hit rate, shootdown fan-out,
+// presence filtering, deferred-queue activity — for benchmark reports.
+func (m *Machine) TLBStats() tlb.Stats { return m.TLB.Stats() }

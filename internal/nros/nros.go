@@ -246,7 +246,7 @@ func (s *Space) Munmap(core int, va arch.Vaddr, size uint64) error {
 	if err := s.mutate(core, &op{kind: opUnmap, lo: va, hi: va + arch.Vaddr(size)}); err != nil {
 		return err
 	}
-	s.m.TLB.ShootdownRanges(core, s.asid, []tlb.Range{{Lo: va, Hi: va + arch.Vaddr(size)}})
+	s.m.TLB.ShootdownRange(core, s.asid, va, va+arch.Vaddr(size))
 	return nil
 }
 

@@ -212,9 +212,11 @@ func (s *Space) Munmap(core int, va arch.Vaddr, size uint64) error {
 			}
 		}
 	}
-	if len(flush) > 32 {
-		s.m.TLB.ShootdownAll(core, s.asid)
-	} else if len(flush) > 0 {
+	if len(flush) > 0 {
+		// Batches of disjoint ranges are cheap now that a shootdown is a
+		// bounded number of generation records per core (the TLB layer
+		// collapses dense batches to their envelope), so there is no
+		// full-ASID escape hatch for large batches anymore.
 		s.m.TLB.ShootdownRanges(core, s.asid, flush)
 	}
 	for _, pfn := range freed {

@@ -1,0 +1,108 @@
+package tlb
+
+import (
+	"sync/atomic"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/pt"
+)
+
+// This file is the per-core translation cache: a fixed-size
+// set-associative array of seqlock-published slots. Every field of a
+// slot is atomic, so lookups and fills are plain loads and stores with
+// no mutex anywhere on the path. The cache is written only through its
+// owning core's API calls (Insert, FlushLocal, inbox drain, LATR
+// sweep); remote cores never touch it — cross-core invalidation goes
+// through the epoch cells (epoch.go) instead. The per-slot sequence
+// word exists because tests and the simulator may drive one core's API
+// from several goroutines: a torn read is detected and treated as a
+// miss, which is always safe for a cache.
+
+// Geometry: nSets sets of nWays slots per core. 2048 entries models an
+// 8-MiB reach, in the range of a real L2 TLB.
+const (
+	setBits = 9
+	nSets   = 1 << setBits
+	nWays   = 4
+)
+
+// hdrValid tags an occupied slot; the low 32 bits of hdr carry the ASID.
+const hdrValid = uint64(1) << 63
+
+// slot is one cache entry. seq is even when the slot is stable and odd
+// while a writer is mid-update; writers claim it by CAS so a lost race
+// skips the write (dropping a fill or a precise flush is always safe —
+// the generation mechanism still bounds staleness).
+type slot struct {
+	seq atomic.Uint64
+	hdr atomic.Uint64 // hdrValid | ASID, 0 when empty
+	va  atomic.Uint64
+	gen atomic.Uint64 // owning epoch cell's generation at fill time
+	trw atomic.Uint64 // packed translation
+}
+
+// read snapshots the slot. ok=false means a writer was active or the
+// fields were torn; the caller treats the slot as non-matching.
+func (s *slot) read() (hdr, va, gen, trw, seq uint64, ok bool) {
+	seq = s.seq.Load()
+	if seq&1 != 0 {
+		return 0, 0, 0, 0, 0, false
+	}
+	hdr = s.hdr.Load()
+	va = s.va.Load()
+	gen = s.gen.Load()
+	trw = s.trw.Load()
+	if s.seq.Load() != seq {
+		return 0, 0, 0, 0, 0, false
+	}
+	return hdr, va, gen, trw, seq, true
+}
+
+// write publishes a new entry if the slot is still at version seq.
+func (s *slot) write(seq, hdr, va, gen, trw uint64) bool {
+	if !s.seq.CompareAndSwap(seq, seq+1) {
+		return false
+	}
+	s.hdr.Store(hdr)
+	s.va.Store(va)
+	s.gen.Store(gen)
+	s.trw.Store(trw)
+	s.seq.Store(seq + 2)
+	return true
+}
+
+// clear empties the slot if it is still at version seq.
+func (s *slot) clear(seq uint64) {
+	if !s.seq.CompareAndSwap(seq, seq+1) {
+		return
+	}
+	s.hdr.Store(0)
+	s.seq.Store(seq + 2)
+}
+
+// refreshGen re-stamps a validated entry with the current cell
+// generation so the next lookup takes the fast path again.
+func (s *slot) refreshGen(seq, gen uint64) {
+	if !s.seq.CompareAndSwap(seq, seq+1) {
+		return
+	}
+	s.gen.Store(gen)
+	s.seq.Store(seq + 2)
+}
+
+// packTr packs a translation into one published word: PFN in the high
+// bits, then the 16-bit permission, then the leaf level.
+func packTr(tr pt.Translation) uint64 {
+	return uint64(tr.PFN)<<19 | uint64(tr.Perm)<<3 | uint64(tr.Level)&7
+}
+
+func unpackTr(w uint64) pt.Translation {
+	return pt.Translation{PFN: arch.PFN(w >> 19), Perm: arch.Perm(w >> 3), Level: int(w & 7)}
+}
+
+// setIndex hashes (asid, page number) to a set. Fibonacci multipliers
+// spread the sequential VA patterns our workloads generate.
+func setIndex(asid ASID, va arch.Vaddr) uint64 {
+	h := uint64(va>>arch.PageShift)*0x9E3779B97F4A7C15 + uint64(asid)*0xA24BAED4963EE407
+	return h >> (64 - setBits)
+}

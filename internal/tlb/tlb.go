@@ -2,8 +2,19 @@
 // TLB-shootdown protocols CortenMM uses (§4.5): synchronous IPI
 // broadcast, parallel flush with early acknowledgement (Amit et al.,
 // EuroSys'20), and LATR-style lazy shootdown where unmap pushes the
-// stale translations into a per-CPU buffer that every core drains on its
-// timer tick (Kumar et al., ASPLOS'18).
+// stale translations into a per-CPU buffer that every core drains on
+// its timer tick (Kumar et al., ASPLOS'18).
+//
+// Each core's cache is a lock-free set-associative array (cache.go):
+// Lookup and Insert are plain atomic loads/stores with no mutex and no
+// cross-core writes. Remote invalidation is a generation bump on the
+// target's per-(core, asid) epoch cell (epoch.go); cache entries are
+// validated lazily against their cell on lookup. Shootdown initiators
+// skip cores whose cells provably hold nothing for the ASID (presence
+// filtering, the mm_cpumask analogue). The early-ack and LATR queues
+// still use mutexes — they model interrupt mailboxes, not the access
+// fast path — but their entries are applied through the same
+// generation mechanism.
 package tlb
 
 import (
@@ -45,32 +56,6 @@ func (m Mode) String() string {
 // ASID identifies an address space in TLB tags.
 type ASID uint32
 
-type key struct {
-	asid ASID
-	va   arch.Vaddr
-}
-
-// tlbCapacity bounds each core's TLB; overflowing flushes it, a crude
-// but sufficient model of capacity eviction.
-const tlbCapacity = 4096
-
-// coreTLB is one core's TLB plus its shootdown mailboxes.
-type coreTLB struct {
-	mu      sync.Mutex
-	entries map[key]pt.Translation
-	gen     uint64 // bumped on full flush
-
-	// inbox holds early-ack invalidation requests posted by other cores.
-	inboxMu sync.Mutex
-	inbox   []Invalidation
-
-	// latrBuf is this core's LATR buffer of invalidations it initiated.
-	latrMu  sync.Mutex
-	latrBuf []Invalidation
-
-	_ [32]byte
-}
-
 // Range is a half-open virtual-address range [Lo, Hi) of page-aligned
 // addresses, the unit of a coalesced shootdown: unmapping 1 GiB issues
 // one range invalidation instead of 256 Ki single-page ones.
@@ -87,24 +72,68 @@ type Invalidation struct {
 	All    bool
 }
 
+// coreStats are per-core counters, padded so cores never share a cache
+// line; Stats() aggregates them.
+type coreStats struct {
+	lookups    atomic.Uint64
+	hits       atomic.Uint64
+	shootdowns atomic.Uint64 // shootdown events this core initiated
+	ipis       atomic.Uint64 // remote cores this core's sync shootdowns signalled
+	filtered   atomic.Uint64 // remote cores skipped by presence filtering
+	deferred   atomic.Uint64 // invalidations queued rather than applied
+	applied    atomic.Uint64 // queued invalidations applied by drain/sweep
+	genBumps   atomic.Uint64 // epoch-cell generation bumps issued
+	evictions  atomic.Uint64 // valid entries displaced by capacity replacement
+	staleDrops atomic.Uint64 // entries discarded by lazy generation checks
+	_          [48]byte
+}
+
+// coreTLB is one core's cache, epoch cells and shootdown mailboxes.
+// The slot array is written only via this core's own API calls; the
+// epoch cells take writes from any core.
+type coreTLB struct {
+	slots  []slot      // nSets × nWays cache entries
+	cells  []epochCell // asidCells generation cells
+	victim atomic.Uint32
+
+	// inbox holds early-ack invalidation requests posted by other
+	// cores; inboxN mirrors its length so the Lookup fast path can skip
+	// the mutex when nothing is pending.
+	inboxMu    sync.Mutex
+	inbox      []Invalidation
+	inboxSpare []Invalidation
+	inboxN     atomic.Int64
+
+	// latrBuf is this core's LATR buffer of invalidations it initiated.
+	latrMu    sync.Mutex
+	latrBuf   []Invalidation
+	latrSpare []Invalidation
+	latrN     atomic.Int64
+
+	stats coreStats
+}
+
+func (c *coreTLB) cell(asid ASID) *epochCell {
+	return &c.cells[uint32(asid)&(asidCells-1)]
+}
+
+func (c *coreTLB) set(asid ASID, va arch.Vaddr) []slot {
+	i := setIndex(asid, va) * nWays
+	return c.slots[i : i+nWays : i+nWays]
+}
+
 // Machine is the TLB hardware of the whole simulated machine.
 type Machine struct {
 	mode  Mode
 	cores []coreTLB
-
-	// Stats (cumulative, atomic).
-	lookups    atomic.Uint64
-	hits       atomic.Uint64
-	shootdowns atomic.Uint64 // shootdown events initiated
-	ipis       atomic.Uint64 // synchronous per-target interrupts
-	deferred   atomic.Uint64 // invalidations queued rather than applied
 }
 
 // NewMachine creates TLBs for the given core count and protocol.
 func NewMachine(cores int, mode Mode) *Machine {
 	m := &Machine{mode: mode, cores: make([]coreTLB, cores)}
 	for i := range m.cores {
-		m.cores[i].entries = make(map[key]pt.Translation, 64)
+		m.cores[i].slots = make([]slot, nSets*nWays)
+		m.cores[i].cells = make([]epochCell, asidCells)
 	}
 	return m
 }
@@ -114,226 +143,476 @@ func (m *Machine) Mode() Mode { return m.mode }
 
 // Lookup consults core's TLB for (asid, va). Early-ack mailboxes are
 // drained first, modelling the interrupt arriving before the access.
+// The fast path is mutex-free: a probe of one set plus one generation
+// load; entries whose generation lags are validated against the epoch
+// cell's ring and either re-stamped or discarded.
 func (m *Machine) Lookup(core int, asid ASID, va arch.Vaddr) (pt.Translation, bool) {
 	c := &m.cores[core]
-	m.drainInbox(c)
-	m.lookups.Add(1)
-	c.mu.Lock()
-	tr, ok := c.entries[key{asid, va}]
-	c.mu.Unlock()
-	if ok {
-		m.hits.Add(1)
+	if m.mode == ModeEarlyAck && c.inboxN.Load() > 0 {
+		m.drainInbox(c)
 	}
-	return tr, ok
+	c.stats.lookups.Add(1)
+	hdr := hdrValid | uint64(asid)
+	cell := c.cell(asid)
+	set := c.set(asid, va)
+	for i := range set {
+		s := &set[i]
+		shdr, sva, sgen, trw, seq, ok := s.read()
+		if !ok || shdr != hdr || sva != uint64(va) {
+			continue
+		}
+		if cur := cell.gen.Load(); sgen != cur {
+			cur, live := cell.validate(asid, va, sgen)
+			if !live {
+				c.stats.staleDrops.Add(1)
+				s.clear(seq)
+				continue
+			}
+			s.refreshGen(seq, cur)
+		}
+		c.stats.hits.Add(1)
+		return unpackTr(trw), true
+	}
+	return pt.Translation{}, false
 }
 
-// Insert caches a translation in core's TLB.
+// Insert caches a translation in core's TLB. Mutex-free: the victim
+// way is claimed by a per-slot CAS, and a lost race simply drops the
+// fill (the next access re-walks).
 func (m *Machine) Insert(core int, asid ASID, va arch.Vaddr, tr pt.Translation) {
 	c := &m.cores[core]
-	c.mu.Lock()
-	if len(c.entries) >= tlbCapacity {
-		clear(c.entries)
-		c.gen++
+	cell := c.cell(asid)
+	g := cell.gen.Load()
+	// Publish presence before the entry: a shootdown that sees the
+	// entry must not have been filtered out (see maybePresent).
+	if l := cell.lastIns.Load(); g+1 > l {
+		cell.lastIns.Store(g + 1)
 	}
-	c.entries[key{asid, va}] = tr
-	c.mu.Unlock()
+	hdr := hdrValid | uint64(asid)
+	set := c.set(asid, va)
+	// Victim preference: the entry itself (re-fill), an empty way, a
+	// generation-stale way, then round-robin capacity replacement.
+	var victim *slot
+	var victimSeq uint64
+	score := 0
+	for i := range set {
+		s := &set[i]
+		shdr, sva, sgen, _, seq, ok := s.read()
+		if !ok {
+			continue
+		}
+		if shdr == hdr && sva == uint64(va) {
+			victim, victimSeq, score = s, seq, 3
+			break
+		}
+		switch {
+		case shdr&hdrValid == 0:
+			if score < 2 {
+				victim, victimSeq, score = s, seq, 2
+			}
+		case score < 1 && sgen != c.cell(ASID(shdr)).gen.Load():
+			victim, victimSeq, score = s, seq, 1
+		}
+	}
+	if victim == nil {
+		s := &c.set(asid, va)[int(c.victim.Add(1))%nWays]
+		seq := s.seq.Load()
+		if seq&1 != 0 {
+			return // racing writer; drop the fill
+		}
+		victim, victimSeq = s, seq
+		c.stats.evictions.Add(1)
+	}
+	victim.write(victimSeq, hdr, uint64(va), g, packTr(tr))
 }
 
 // FlushLocal removes (asid, va) from core's own TLB.
 func (m *Machine) FlushLocal(core int, asid ASID, va arch.Vaddr) {
-	c := &m.cores[core]
-	c.mu.Lock()
-	delete(c.entries, key{asid, va})
-	c.mu.Unlock()
+	m.cores[core].clearSlot(asid, va)
 }
 
 // FlushLocalRange removes asid's entries in [lo, hi) from core's own TLB.
 func (m *Machine) FlushLocalRange(core int, asid ASID, lo, hi arch.Vaddr) {
-	m.apply(&m.cores[core], Invalidation{ASID: asid, Lo: lo, Hi: hi})
+	c := &m.cores[core]
+	c.invalidateLocal(Invalidation{ASID: asid, Lo: lo, Hi: hi})
 }
 
 // FlushLocalAll removes all of asid's entries from core's own TLB.
 func (m *Machine) FlushLocalAll(core int, asid ASID) {
-	m.apply(&m.cores[core], Invalidation{ASID: asid, All: true})
+	c := &m.cores[core]
+	c.invalidateLocal(Invalidation{ASID: asid, All: true})
 }
 
-func (m *Machine) apply(c *coreTLB, inv Invalidation) {
-	c.mu.Lock()
-	switch {
-	case inv.All:
-		for k := range c.entries {
-			if k.asid == inv.ASID {
-				delete(c.entries, k)
-			}
-		}
-	case uint64(inv.Hi-inv.Lo) <= arch.PageSize:
-		delete(c.entries, key{inv.ASID, inv.Lo})
-	case uint64(inv.Hi-inv.Lo)/arch.PageSize <= uint64(len(c.entries)):
+// preciseLimit is the largest page count a local invalidation clears
+// slot by slot; wider ranges become one generation bump instead.
+const preciseLimit = 16
+
+// invalidateLocal applies one invalidation to this core's own cache:
+// precisely for a handful of pages, or as a generation bump on its own
+// epoch cell for ranges and full-ASID flushes, leaving dead entries
+// for lookups to discard lazily.
+func (c *coreTLB) invalidateLocal(inv Invalidation) {
+	if !inv.All && uint64(inv.Hi-inv.Lo)/arch.PageSize <= preciseLimit {
 		for va := inv.Lo; va < inv.Hi; va += arch.PageSize {
-			delete(c.entries, key{inv.ASID, va})
+			c.clearSlot(inv.ASID, va)
 		}
-	default:
-		// The range is wider than the TLB is full: sweeping the entries
-		// beats probing every page in the range.
-		for k := range c.entries {
-			if k.asid == inv.ASID && k.va >= inv.Lo && k.va < inv.Hi {
-				delete(c.entries, k)
-			}
-		}
+		return
 	}
-	c.mu.Unlock()
+	c.cell(inv.ASID).bump(inv.ASID, inv.Lo, inv.Hi, inv.All)
+	c.stats.genBumps.Add(1)
 }
 
-// Shootdown invalidates the given pages of asid on every core, using the
-// configured protocol. initiator's own TLB is always flushed immediately.
-func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
-	m.shootdowns.Add(1)
-	invs := make([]Invalidation, len(vas))
-	for i, va := range vas {
-		invs[i] = Invalidation{ASID: asid, Lo: va, Hi: va + arch.PageSize}
+// clearSlot empties the slot caching (asid, va), if any.
+func (c *coreTLB) clearSlot(asid ASID, va arch.Vaddr) {
+	hdr := hdrValid | uint64(asid)
+	set := c.set(asid, va)
+	for i := range set {
+		s := &set[i]
+		shdr, sva, _, _, seq, ok := s.read()
+		if ok && shdr == hdr && sva == uint64(va) {
+			s.clear(seq)
+			return
+		}
 	}
-	m.shoot(initiator, invs)
+}
+
+// maxFanRecs bounds how many ring records one shootdown spends on a
+// remote cell; denser requests collapse to their envelope (a safe
+// over-invalidation that preserves the ring's recent history).
+const maxFanRecs = 4
+
+// bumpRemote records page invalidations on one remote cell.
+func bumpRemote(cell *epochCell, asid ASID, vas []arch.Vaddr, st *coreStats) {
+	if len(vas) <= maxFanRecs {
+		for _, va := range vas {
+			cell.bump(asid, va, va+arch.PageSize, false)
+		}
+		st.genBumps.Add(uint64(len(vas)))
+		return
+	}
+	lo, hi := vas[0], vas[0]
+	for _, va := range vas[1:] {
+		if va < lo {
+			lo = va
+		}
+		if va > hi {
+			hi = va
+		}
+	}
+	cell.bump(asid, lo, hi+arch.PageSize, false)
+	st.genBumps.Add(1)
+}
+
+// bumpRemoteRanges records range invalidations on one remote cell.
+func bumpRemoteRanges(cell *epochCell, asid ASID, ranges []Range, st *coreStats) {
+	if len(ranges) <= maxFanRecs {
+		for _, r := range ranges {
+			cell.bump(asid, r.Lo, r.Hi, false)
+		}
+		st.genBumps.Add(uint64(len(ranges)))
+		return
+	}
+	lo, hi := ranges[0].Lo, ranges[0].Hi
+	for _, r := range ranges[1:] {
+		if r.Lo < lo {
+			lo = r.Lo
+		}
+		if r.Hi > hi {
+			hi = r.Hi
+		}
+	}
+	cell.bump(asid, lo, hi, false)
+	st.genBumps.Add(1)
+}
+
+// Shootdown invalidates the given pages of asid on every core, using
+// the configured protocol. initiator's own TLB is always flushed
+// immediately. No intermediate request slice is built: sync mode bumps
+// target cells directly and the queueing modes append straight into
+// the persistent mailbox buffers.
+func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
+	c := &m.cores[initiator]
+	c.stats.shootdowns.Add(1)
+	for _, va := range vas {
+		c.clearSlot(asid, va)
+	}
+	switch m.mode {
+	case ModeSync:
+		for j := range m.cores {
+			if j == initiator {
+				continue
+			}
+			cell := m.cores[j].cell(asid)
+			if !cell.maybePresent() {
+				c.stats.filtered.Add(1)
+				continue
+			}
+			c.stats.ipis.Add(1)
+			bumpRemote(cell, asid, vas, &c.stats)
+		}
+	case ModeEarlyAck:
+		for j := range m.cores {
+			if j == initiator {
+				continue
+			}
+			t := &m.cores[j]
+			if !t.cell(asid).maybePresent() {
+				c.stats.filtered.Add(1)
+				continue
+			}
+			t.inboxMu.Lock()
+			for _, va := range vas {
+				t.inbox = append(t.inbox, Invalidation{ASID: asid, Lo: va, Hi: va + arch.PageSize})
+			}
+			t.inboxN.Add(int64(len(vas)))
+			t.inboxMu.Unlock()
+			c.stats.deferred.Add(uint64(len(vas)))
+		}
+	case ModeLATR:
+		c.latrMu.Lock()
+		for _, va := range vas {
+			c.latrBuf = append(c.latrBuf, Invalidation{ASID: asid, Lo: va, Hi: va + arch.PageSize})
+		}
+		c.latrN.Add(int64(len(vas)))
+		c.latrMu.Unlock()
+		c.stats.deferred.Add(uint64(len(vas)))
+	}
 }
 
 // ShootdownRanges invalidates the given VA ranges of asid on every core
-// using the configured protocol — the coalesced counterpart of Shootdown
-// that range unmaps use.
+// using the configured protocol — the coalesced counterpart of
+// Shootdown that range unmaps use.
 func (m *Machine) ShootdownRanges(initiator int, asid ASID, ranges []Range) {
-	m.shootdowns.Add(1)
-	m.shoot(initiator, rangeInvs(asid, ranges))
+	c := &m.cores[initiator]
+	c.stats.shootdowns.Add(1)
+	for _, r := range ranges {
+		c.invalidateLocal(Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi})
+	}
+	switch m.mode {
+	case ModeSync:
+		m.fanRangesNow(c, initiator, asid, ranges)
+	case ModeEarlyAck:
+		for j := range m.cores {
+			if j == initiator {
+				continue
+			}
+			t := &m.cores[j]
+			if !t.cell(asid).maybePresent() {
+				c.stats.filtered.Add(1)
+				continue
+			}
+			t.inboxMu.Lock()
+			for _, r := range ranges {
+				t.inbox = append(t.inbox, Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi})
+			}
+			t.inboxN.Add(int64(len(ranges)))
+			t.inboxMu.Unlock()
+			c.stats.deferred.Add(uint64(len(ranges)))
+		}
+	case ModeLATR:
+		c.latrMu.Lock()
+		for _, r := range ranges {
+			c.latrBuf = append(c.latrBuf, Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi})
+		}
+		c.latrN.Add(int64(len(ranges)))
+		c.latrMu.Unlock()
+		c.stats.deferred.Add(uint64(len(ranges)))
+	}
+}
+
+// ShootdownRange is ShootdownRanges for a single [lo, hi) range — the
+// common case of a contiguous unmap, without the slice literal.
+func (m *Machine) ShootdownRange(initiator int, asid ASID, lo, hi arch.Vaddr) {
+	r := [1]Range{{Lo: lo, Hi: hi}}
+	m.ShootdownRanges(initiator, asid, r[:])
 }
 
 // ShootdownRangesSync invalidates the given VA ranges on every core
 // immediately regardless of the configured protocol (see ShootdownSync).
 func (m *Machine) ShootdownRangesSync(initiator int, asid ASID, ranges []Range) {
-	m.shootdowns.Add(1)
-	invs := rangeInvs(asid, ranges)
-	for i := range m.cores {
-		if i != initiator {
-			m.ipis.Add(1)
-		}
-		for _, inv := range invs {
-			m.apply(&m.cores[i], inv)
-		}
+	c := &m.cores[initiator]
+	c.stats.shootdowns.Add(1)
+	for _, r := range ranges {
+		c.invalidateLocal(Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi})
 	}
+	m.fanRangesNow(c, initiator, asid, ranges)
 }
 
-func rangeInvs(asid ASID, ranges []Range) []Invalidation {
-	invs := make([]Invalidation, len(ranges))
-	for i, r := range ranges {
-		invs[i] = Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi}
+// ShootdownRangeSync is ShootdownRangesSync for a single range.
+func (m *Machine) ShootdownRangeSync(initiator int, asid ASID, lo, hi arch.Vaddr) {
+	r := [1]Range{{Lo: lo, Hi: hi}}
+	m.ShootdownRangesSync(initiator, asid, r[:])
+}
+
+func (m *Machine) fanRangesNow(c *coreTLB, initiator int, asid ASID, ranges []Range) {
+	for j := range m.cores {
+		if j == initiator {
+			continue
+		}
+		cell := m.cores[j].cell(asid)
+		if !cell.maybePresent() {
+			c.stats.filtered.Add(1)
+			continue
+		}
+		c.stats.ipis.Add(1)
+		bumpRemoteRanges(cell, asid, ranges, &c.stats)
 	}
-	return invs
 }
 
 // ShootdownAll invalidates every entry of asid on every core (used for
 // address-space teardown and fork).
 func (m *Machine) ShootdownAll(initiator int, asid ASID) {
-	m.shootdowns.Add(1)
-	m.shoot(initiator, []Invalidation{{ASID: asid, All: true}})
+	c := &m.cores[initiator]
+	c.stats.shootdowns.Add(1)
+	c.invalidateLocal(Invalidation{ASID: asid, All: true})
+	switch m.mode {
+	case ModeSync:
+		m.fanAllNow(c, initiator, asid)
+	case ModeEarlyAck:
+		for j := range m.cores {
+			if j == initiator {
+				continue
+			}
+			t := &m.cores[j]
+			if !t.cell(asid).maybePresent() {
+				c.stats.filtered.Add(1)
+				continue
+			}
+			t.inboxMu.Lock()
+			t.inbox = append(t.inbox, Invalidation{ASID: asid, All: true})
+			t.inboxN.Add(1)
+			t.inboxMu.Unlock()
+			c.stats.deferred.Add(1)
+		}
+	case ModeLATR:
+		c.latrMu.Lock()
+		c.latrBuf = append(c.latrBuf, Invalidation{ASID: asid, All: true})
+		c.latrN.Add(1)
+		c.latrMu.Unlock()
+		c.stats.deferred.Add(1)
+	}
 }
 
 // ShootdownSync invalidates pages on every core immediately regardless
 // of the configured protocol. Permission tightenings (COW on fork,
-// mprotect) must not be deferred — LATR's laziness applies only to unmap
-// (§4.5) — so they use this path.
+// mprotect) must not be deferred — LATR's laziness applies only to
+// unmap (§4.5) — so they use this path.
 func (m *Machine) ShootdownSync(initiator int, asid ASID, vas []arch.Vaddr) {
-	m.shootdowns.Add(1)
-	for i := range m.cores {
-		if i != initiator {
-			m.ipis.Add(1)
-		}
-		for _, va := range vas {
-			m.apply(&m.cores[i], Invalidation{ASID: asid, Lo: va, Hi: va + arch.PageSize})
-		}
+	c := &m.cores[initiator]
+	c.stats.shootdowns.Add(1)
+	for _, va := range vas {
+		c.clearSlot(asid, va)
 	}
+	for j := range m.cores {
+		if j == initiator {
+			continue
+		}
+		cell := m.cores[j].cell(asid)
+		if !cell.maybePresent() {
+			c.stats.filtered.Add(1)
+			continue
+		}
+		c.stats.ipis.Add(1)
+		bumpRemote(cell, asid, vas, &c.stats)
+	}
+}
+
+// ShootdownPageSync is ShootdownSync for a single page — the COW-break
+// and spurious-fault paths, without the slice literal.
+func (m *Machine) ShootdownPageSync(initiator int, asid ASID, va arch.Vaddr) {
+	v := [1]arch.Vaddr{va}
+	m.ShootdownSync(initiator, asid, v[:])
 }
 
 // ShootdownAllSync invalidates the whole ASID everywhere immediately.
 func (m *Machine) ShootdownAllSync(initiator int, asid ASID) {
-	m.shootdowns.Add(1)
-	for i := range m.cores {
-		if i != initiator {
-			m.ipis.Add(1)
+	c := &m.cores[initiator]
+	c.stats.shootdowns.Add(1)
+	c.invalidateLocal(Invalidation{ASID: asid, All: true})
+	m.fanAllNow(c, initiator, asid)
+}
+
+func (m *Machine) fanAllNow(c *coreTLB, initiator int, asid ASID) {
+	for j := range m.cores {
+		if j == initiator {
+			continue
 		}
-		m.apply(&m.cores[i], Invalidation{ASID: asid, All: true})
+		cell := m.cores[j].cell(asid)
+		if !cell.maybePresent() {
+			c.stats.filtered.Add(1)
+			continue
+		}
+		c.stats.ipis.Add(1)
+		cell.bump(asid, 0, arch.MaxVaddr, true)
+		c.stats.genBumps.Add(1)
 	}
 }
 
-func (m *Machine) shoot(initiator int, invs []Invalidation) {
-	self := &m.cores[initiator]
-	for _, inv := range invs {
-		m.apply(self, inv)
-	}
-	switch m.mode {
-	case ModeSync:
-		for i := range m.cores {
-			if i == initiator {
-				continue
-			}
-			m.ipis.Add(1)
-			for _, inv := range invs {
-				m.apply(&m.cores[i], inv)
-			}
-		}
-	case ModeEarlyAck:
-		for i := range m.cores {
-			if i == initiator {
-				continue
-			}
-			c := &m.cores[i]
-			c.inboxMu.Lock()
-			c.inbox = append(c.inbox, invs...)
-			c.inboxMu.Unlock()
-			m.deferred.Add(uint64(len(invs)))
-		}
-	case ModeLATR:
-		self.latrMu.Lock()
-		self.latrBuf = append(self.latrBuf, invs...)
-		self.latrMu.Unlock()
-		m.deferred.Add(uint64(len(invs)))
-	}
-}
-
+// drainInbox applies this core's queued early-ack invalidations.
 func (m *Machine) drainInbox(c *coreTLB) {
-	if m.mode != ModeEarlyAck {
-		return
-	}
 	c.inboxMu.Lock()
 	if len(c.inbox) == 0 {
 		c.inboxMu.Unlock()
 		return
 	}
 	pending := c.inbox
-	c.inbox = nil
+	c.inbox = c.inboxSpare[:0]
+	c.inboxSpare = nil
+	c.inboxN.Store(0)
 	c.inboxMu.Unlock()
 	for _, inv := range pending {
-		m.apply(c, inv)
+		c.invalidateLocal(inv)
 	}
+	c.stats.applied.Add(uint64(len(pending)))
+	c.inboxMu.Lock()
+	if c.inboxSpare == nil {
+		c.inboxSpare = pending[:0]
+	}
+	c.inboxMu.Unlock()
 }
 
 // Tick is the core's timer interrupt: under LATR it sweeps every core's
-// buffer and applies the invalidations to its own TLB; the initiator's
-// buffer is cleared once all cores have swept it. For simplicity a
-// buffer entry is applied to all cores synchronously by the first
-// sweeper on behalf of everyone — matching LATR's bounded staleness of
-// one tick period.
+// buffer; the first sweeper applies each entry on behalf of everyone —
+// its own cache precisely, every other core via a generation bump on
+// that core's epoch cell — matching LATR's bounded staleness of one
+// tick period.
 func (m *Machine) Tick(core int) {
+	c := &m.cores[core]
 	if m.mode != ModeLATR {
-		m.drainInbox(&m.cores[core])
+		m.drainInbox(c)
 		return
 	}
 	for i := range m.cores {
 		src := &m.cores[i]
+		if src.latrN.Load() == 0 {
+			continue
+		}
 		src.latrMu.Lock()
 		pending := src.latrBuf
-		src.latrBuf = nil
+		src.latrBuf = src.latrSpare[:0]
+		src.latrSpare = nil
+		src.latrN.Store(0)
 		src.latrMu.Unlock()
 		for _, inv := range pending {
+			c.invalidateLocal(inv)
 			for j := range m.cores {
-				m.apply(&m.cores[j], inv)
+				if j == core {
+					continue
+				}
+				cell := m.cores[j].cell(inv.ASID)
+				if !cell.maybePresent() {
+					continue
+				}
+				cell.bump(inv.ASID, inv.Lo, inv.Hi, inv.All)
+				c.stats.genBumps.Add(1)
 			}
 		}
+		c.stats.applied.Add(uint64(len(pending)))
+		src.latrMu.Lock()
+		if src.latrSpare == nil {
+			src.latrSpare = pending[:0]
+		}
+		src.latrMu.Unlock()
 	}
 }
 
@@ -341,35 +620,50 @@ func (m *Machine) Tick(core int) {
 // (early-ack inboxes plus LATR buffers) for testing the protocols'
 // staleness bounds.
 func (m *Machine) PendingInvalidations() int {
-	n := 0
+	n := int64(0)
 	for i := range m.cores {
-		c := &m.cores[i]
-		c.inboxMu.Lock()
-		n += len(c.inbox)
-		c.inboxMu.Unlock()
-		c.latrMu.Lock()
-		n += len(c.latrBuf)
-		c.latrMu.Unlock()
+		n += m.cores[i].inboxN.Load() + m.cores[i].latrN.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Stats is a snapshot of TLB activity.
 type Stats struct {
 	Lookups    uint64
 	Hits       uint64
-	Shootdowns uint64
-	IPIs       uint64
-	Deferred   uint64
+	Shootdowns uint64 // shootdown events initiated
+	IPIs       uint64 // remote cores signalled synchronously
+	Filtered   uint64 // remote cores skipped by ASID presence filtering
+	Deferred   uint64 // invalidations queued rather than applied
+	Applied    uint64 // queued invalidations applied by drain/sweep
+	GenBumps   uint64 // epoch-cell generation bumps
+	Evictions  uint64 // capacity evictions of valid entries
+	StaleDrops uint64 // entries lazily discarded by generation checks
 }
 
-// Stats returns cumulative counters.
-func (m *Machine) Stats() Stats {
-	return Stats{
-		Lookups:    m.lookups.Load(),
-		Hits:       m.hits.Load(),
-		Shootdowns: m.shootdowns.Load(),
-		IPIs:       m.ipis.Load(),
-		Deferred:   m.deferred.Load(),
+// HitRate is Hits/Lookups, 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
 	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Stats returns cumulative counters aggregated over all cores.
+func (m *Machine) Stats() Stats {
+	var out Stats
+	for i := range m.cores {
+		st := &m.cores[i].stats
+		out.Lookups += st.lookups.Load()
+		out.Hits += st.hits.Load()
+		out.Shootdowns += st.shootdowns.Load()
+		out.IPIs += st.ipis.Load()
+		out.Filtered += st.filtered.Load()
+		out.Deferred += st.deferred.Load()
+		out.Applied += st.applied.Load()
+		out.GenBumps += st.genBumps.Load()
+		out.Evictions += st.evictions.Load()
+		out.StaleDrops += st.staleDrops.Load()
+	}
+	return out
 }

@@ -9,13 +9,21 @@ import (
 	"cortenmm/internal/pt"
 )
 
+type refKey struct {
+	asid ASID
+	va   arch.Vaddr
+}
+
 // refTLB is a flat reference model of the sync-mode machine: one map
 // per core.
-type refTLB []map[key]pt.Translation
+type refTLB []map[refKey]pt.Translation
 
 // TestQuickSyncMatchesReference: under random insert/flush/shootdown
-// traffic, the sync-mode machine agrees with a trivially correct model
-// on every lookup.
+// traffic, every hit of the sync-mode machine agrees with a trivially
+// correct model. The check is one-sided — a real TLB may miss at any
+// time (set conflicts, conservative generation invalidation) — but a
+// hit whose translation the model does not hold, or a hit on a page
+// the model has invalidated, is a staleness bug.
 func TestQuickSyncMatchesReference(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -23,29 +31,43 @@ func TestQuickSyncMatchesReference(t *testing.T) {
 		m := NewMachine(cores, ModeSync)
 		ref := make(refTLB, cores)
 		for i := range ref {
-			ref[i] = map[key]pt.Translation{}
+			ref[i] = map[refKey]pt.Translation{}
+		}
+		check := func(core int, asid ASID, va arch.Vaddr) bool {
+			got, ok := m.Lookup(core, asid, va)
+			if !ok {
+				return true
+			}
+			want, wok := ref[core][refKey{asid, va}]
+			return wok && got == want
 		}
 		for step := 0; step < 500; step++ {
 			core := rng.Intn(cores)
 			asid := ASID(1 + rng.Intn(3))
 			va := arch.Vaddr(rng.Intn(32)) * arch.PageSize
-			switch rng.Intn(4) {
+			switch rng.Intn(5) {
 			case 0:
 				tr := pt.Translation{PFN: arch.PFN(step), Perm: arch.PermRW, Level: 1}
 				m.Insert(core, asid, va, tr)
-				ref[core][key{asid, va}] = tr
+				ref[core][refKey{asid, va}] = tr
 			case 1:
 				m.FlushLocal(core, asid, va)
-				delete(ref[core], key{asid, va})
+				delete(ref[core], refKey{asid, va})
 			case 2:
 				m.Shootdown(core, asid, []arch.Vaddr{va})
 				for c := range ref {
-					delete(ref[c], key{asid, va})
+					delete(ref[c], refKey{asid, va})
 				}
 			case 3:
-				got, ok := m.Lookup(core, asid, va)
-				want, wok := ref[core][key{asid, va}]
-				if ok != wok || (ok && got != want) {
+				hi := va + arch.Vaddr(1+rng.Intn(8))*arch.PageSize
+				m.ShootdownRange(core, asid, va, hi)
+				for c := range ref {
+					for p := va; p < hi; p += arch.PageSize {
+						delete(ref[c], refKey{asid, p})
+					}
+				}
+			case 4:
+				if !check(core, asid, va) {
 					return false
 				}
 			}
@@ -54,10 +76,7 @@ func TestQuickSyncMatchesReference(t *testing.T) {
 		for c := 0; c < cores; c++ {
 			for asid := ASID(1); asid <= 3; asid++ {
 				for p := 0; p < 32; p++ {
-					va := arch.Vaddr(p) * arch.PageSize
-					got, ok := m.Lookup(c, asid, va)
-					want, wok := ref[c][key{asid, va}]
-					if ok != wok || (ok && got != want) {
+					if !check(c, asid, arch.Vaddr(p)*arch.PageSize) {
 						return false
 					}
 				}

@@ -183,7 +183,7 @@ func (s *Space) cowBreak(core int, v *VMA, leafPT arch.PFN, idx int, pte uint64,
 	s.tree.SetPTE(leafPT, idx, s.isa.EncodeLeaf(cp, newPerm, 1))
 	s.m.Phys.Desc(s.m.Phys.HeadOf(cp)).MapCount.Add(1)
 	d.MapCount.Add(-1)
-	s.m.TLB.ShootdownSync(core, s.asid, []arch.Vaddr{page})
+	s.m.TLB.ShootdownPageSync(core, s.asid, page)
 	s.m.Phys.Put(core, head)
 	return nil
 }

@@ -281,7 +281,7 @@ func (s *Space) Munmap(core int, va arch.Vaddr, size uint64) error {
 	s.freePageTables(core, lo, hi)
 	s.mmapLock.Unlock()
 
-	s.m.TLB.ShootdownRanges(core, s.asid, []tlb.Range{{Lo: lo, Hi: hi}})
+	s.m.TLB.ShootdownRange(core, s.asid, lo, hi)
 	s.unchargePages(freed)
 	for _, pfn := range freed {
 		s.m.Phys.Put(core, pfn)
