@@ -314,8 +314,11 @@ func (c *RCursor) ensureChild(pfn arch.PFN, level, idx int, entryLo arch.Vaddr) 
 func (c *RCursor) releaseLeaf(pte uint64, level int, va arch.Vaddr) {
 	head := c.a.m.Phys.HeadOf(c.a.isa.PFNOf(pte))
 	c.a.m.Phys.Desc(head).MapCount.Add(-1)
-	c.noteFreed(head)
+	// Flush before queueing the free: spillDeferred may hand the queued
+	// frames to the RCU monitor mid-walk, and the shootdown it issues
+	// must already cover every translation to a queued frame.
 	c.noteFlush(va, level)
+	c.noteFreed(head)
 }
 
 // noteFreed queues a frame head for release after the shootdown,
@@ -349,6 +352,12 @@ func (c *RCursor) clearLeafTable(child arch.PFN, base arch.Vaddr) {
 	t, isa := c.a.tree, c.a.isa
 	phys := c.a.m.Phys
 	st := t.State(child)
+	// One span-wide flush record covers the whole table; recorded before
+	// any frame is queued so a mid-sweep spill's shootdown covers them
+	// (see releaseLeaf). Span-aware validation in the TLB makes this
+	// single 2-MiB record kill cached huge entries too, not just their
+	// base page.
+	c.noteFlush(base, 2)
 	if st.MetaCnt > 0 {
 		for i := 0; i < arch.PTEntries; i++ {
 			c.dropMeta(child, i)
@@ -367,7 +376,6 @@ func (c *RCursor) clearLeafTable(child arch.PFN, base arch.Vaddr) {
 		}
 		st.Present = 0
 	}
-	c.noteFlush(base, 2)
 }
 
 // noteFlush queues a TLB invalidation for the leaf span at va,

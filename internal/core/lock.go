@@ -279,6 +279,35 @@ func (c *RCursor) Close() {
 	}
 }
 
+// freedSpillRuns caps the deferred-free run list. A giant sparse unmap
+// whose frames never coalesce (PFN order decorrelated from VA order)
+// would otherwise grow c.freed by one run per page; at the cap the
+// cursor flushes the accumulated shootdown ranges and hands the runs to
+// the RCU monitor mid-walk, bounding transaction memory.
+const freedSpillRuns = 256
+
+// maybeSpill chunks the deferred work when the freed-run list hits the
+// cap. Callers must be at a safe point: every queued frame's PTE
+// already cleared and its VA range already recorded in c.flush (or
+// flushAll set), so the spilled shootdown covers every spilled frame.
+func (c *RCursor) maybeSpill() {
+	if len(c.freed) >= freedSpillRuns {
+		c.spillDeferred()
+	}
+}
+
+// spillDeferred performs the shootdown + RCU frame hand-off accumulated
+// so far and resets the queues, keeping flushAll/needSync for the work
+// that follows. Running mid-transaction is sound: shootdowns only write
+// other cores' epoch cells (no lock interaction with the MCS chain we
+// hold), and the RCU grace period still orders each spilled free after
+// any reader that could have observed the dead translation.
+func (c *RCursor) spillDeferred() {
+	c.shootAndFree()
+	c.flush = c.flush[:0]
+	c.freed = c.freed[:0]
+}
+
 // shootAndFree performs the deferred TLB invalidations and then drops
 // the references of unmapped frames. All frames go through the RCU
 // monitor: under lazy shootdown a core might still hold a stale

@@ -251,6 +251,9 @@ func (a *AddrSpace) access(core int, va arch.Vaddr, acc pt.Access, fn func(page 
 		tr, ok := a.m.TLB.Lookup(core, a.asid, page)
 		if !ok || !tr.Perm.Contains(acc.Needs()) {
 			if tr, ok = a.tree.WalkAccess(va, acc); ok {
+				// tr carries the leaf level from the walk; huge leaves land
+				// in the TLB's span-indexed array so every page of the span
+				// hits from this one fill.
 				a.m.TLB.Insert(core, a.asid, page, tr)
 			}
 		}

@@ -150,24 +150,42 @@ func TestShootdownStalenessModel(t *testing.T) {
 			}
 
 			asid := a.ASID()
+			// hugeVA sits below the arena space and is 2-MiB aligned, so
+			// the huge probe iterations get real level-2 leaves.
+			const hugeVA = arch.Vaddr(3) << 30
+			hugeSpan := arch.Vaddr(arch.SpanBytes(2))
 			for iter := 0; iter < 40; iter++ {
-				va, err := a.Mmap(0, arch.PageSize, arch.PermRW, 0)
-				if err != nil {
-					t.Fatal(err)
+				va, size := arch.Vaddr(0), arch.Vaddr(arch.PageSize)
+				probes := []arch.Vaddr{0}
+				if iter%4 == 3 {
+					// Huge probe: the span-indexed TLB entry must obey the
+					// same staleness contract at every offset.
+					va, size = hugeVA, hugeSpan
+					probes = []arch.Vaddr{0, 13 * arch.PageSize, hugeSpan - arch.PageSize}
+					if err := a.MmapFixed(0, va, uint64(size), arch.PermRW, mm.FlagHuge2M); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					var err error
+					if va, err = a.Mmap(0, arch.PageSize, arch.PermRW, 0); err != nil {
+						t.Fatal(err)
+					}
 				}
 				// Core 3 (used by no one else) caches the translation.
 				if err := a.Store(3, va, 9); err != nil {
 					t.Fatal(err)
 				}
-				if err := a.Munmap(0, va, arch.PageSize); err != nil {
+				if err := a.Munmap(0, va, uint64(size)); err != nil {
 					t.Fatal(err)
 				}
 				if mode == tlb.ModeLATR {
 					// A hit inside the window is legal; Quiesce closes it.
 					m.Quiesce()
 				}
-				if _, ok := m.TLB.Lookup(3, asid, va); ok {
-					t.Fatalf("iter %d: core 3 still translates %#x after unmap", iter, va)
+				for _, off := range probes {
+					if _, ok := m.TLB.Lookup(3, asid, va+off); ok {
+						t.Fatalf("iter %d: core 3 still translates %#x after unmap", iter, va+off)
+					}
 				}
 			}
 

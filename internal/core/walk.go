@@ -107,6 +107,9 @@ func (c *RCursor) walkRange(v *walkOps, pfn arch.PFN, level int, base, lo, hi ar
 					c.removeChild(pfn, idx, child)
 				}
 				present = false
+				// Safe spill point: every queued free under this entry has
+				// its PTE cleared and its flush range recorded.
+				c.maybeSpill()
 			}
 			if present {
 				if isa.IsLeaf(pte, level) {

@@ -26,6 +26,22 @@ const (
 	nWays   = 4
 )
 
+// Huge-entry geometry: every core also carries a second, smaller
+// set-associative array for 2-MiB and 1-GiB leaves, indexed by the
+// leaf's natural span base — the split-structure design of real L2
+// STLBs, which keep separate huge-entry arrays precisely because a
+// page-number index would leave a huge leaf reachable at only one of
+// its 512 offsets. 32 sets × nWays = 128 entries ≈ a 256-MiB reach at
+// 2 MiB.
+const (
+	hugeSetBits = 5
+	hugeSets    = 1 << hugeSetBits
+)
+
+// hugeLevels are the leaf levels the huge array caches (2 = 2 MiB,
+// 3 = 1 GiB). Lookup probes both alignments on a base-array miss.
+var hugeLevels = [2]int{2, 3}
+
 // hdrValid tags an occupied slot; the low 32 bits of hdr carry the ASID.
 const hdrValid = uint64(1) << 63
 
@@ -105,4 +121,14 @@ func unpackTr(w uint64) pt.Translation {
 func setIndex(asid ASID, va arch.Vaddr) uint64 {
 	h := uint64(va>>arch.PageShift)*0x9E3779B97F4A7C15 + uint64(asid)*0xA24BAED4963EE407
 	return h >> (64 - setBits)
+}
+
+// hugeSetIndex hashes (asid, span base, level) to a huge-array set.
+// Both huge levels share one array; the level participates in the hash
+// and is re-checked on probe, so a 2-MiB and a 1-GiB entry at the same
+// base never alias.
+func hugeSetIndex(asid ASID, base arch.Vaddr, level int) uint64 {
+	h := (uint64(base)>>arch.SpanShift(level-1))*0x9E3779B97F4A7C15 +
+		uint64(asid)*0xA24BAED4963EE407 + uint64(level)*0x94D049BB133111EB
+	return h >> (64 - hugeSetBits)
 }

@@ -27,8 +27,12 @@ const (
 	// collision only ever causes extra misses).
 	asidCells = 64
 	// ringLen bounds how many recent invalidation records a cell keeps
-	// for precise lazy validation.
-	ringLen = 8
+	// for precise lazy validation. 16 deep: an unmap storm that issues a
+	// burst of up to 16 range shootdowns between two lookups of the same
+	// entry still replays precisely instead of forcing a conservative
+	// full miss (staledrops in the fig14-tlb rows quantified the old
+	// 8-deep ring wrapping under exactly that pattern).
+	ringLen = 16
 )
 
 // recAll in a record tag marks a full-ASID invalidation. All records
@@ -87,13 +91,16 @@ func (c *epochCell) bump(asid ASID, lo, hi arch.Vaddr, all bool) {
 	c.seq.Add(1)
 }
 
-// validate decides whether a cache entry of asid at va filled at
-// generation g is still usable. It scans the ring records in (g, cur];
-// the entry survives only if none of them covers it. Overwritten or
-// torn records, and histories older than the ring, invalidate
+// validate decides whether a cache entry of asid covering [lo, hi)
+// filled at generation g is still usable. It scans the ring records in
+// (g, cur]; the entry survives only if none of them overlaps the span.
+// The overlap test is a range intersection, not point membership: a
+// 4-KiB record must kill a 2-MiB huge entry it falls inside, and a
+// huge-span record must kill the 4-KiB entries it covers. Overwritten
+// or torn records, and histories older than the ring, invalidate
 // conservatively. Returns the cell's current generation so the caller
 // can re-stamp a surviving entry.
-func (c *epochCell) validate(asid ASID, va arch.Vaddr, g uint64) (uint64, bool) {
+func (c *epochCell) validate(asid ASID, lo, hi arch.Vaddr, g uint64) (uint64, bool) {
 	for attempt := 0; attempt < 4; attempt++ {
 		s := c.seq.Load()
 		if s&1 != 0 {
@@ -121,7 +128,7 @@ func (c *epochCell) validate(asid ASID, va arch.Vaddr, g uint64) (uint64, bool) 
 			if ASID(tag) != asid {
 				continue
 			}
-			if uint64(va) >= r.lo.Load() && uint64(va) < r.hi.Load() {
+			if r.lo.Load() < uint64(hi) && r.hi.Load() > uint64(lo) {
 				live = false
 				break
 			}

@@ -85,6 +85,8 @@ type coreStats struct {
 	genBumps   atomic.Uint64 // epoch-cell generation bumps issued
 	evictions  atomic.Uint64 // valid entries displaced by capacity replacement
 	staleDrops atomic.Uint64 // entries discarded by lazy generation checks
+	hugeHits   atomic.Uint64 // lookups served by the huge-entry array
+	hugeEvicts atomic.Uint64 // huge entries displaced by capacity replacement
 	_          [48]byte
 }
 
@@ -92,9 +94,19 @@ type coreStats struct {
 // The slot array is written only via this core's own API calls; the
 // epoch cells take writes from any core.
 type coreTLB struct {
-	slots  []slot      // nSets × nWays cache entries
-	cells  []epochCell // asidCells generation cells
-	victim atomic.Uint32
+	slots      []slot      // nSets × nWays 4-KiB cache entries
+	hugeSlots  []slot      // hugeSets × nWays huge-leaf entries (va = span base)
+	cells      []epochCell // asidCells generation cells
+	victim     atomic.Uint32
+	hugeVictim atomic.Uint32
+
+	// Adaptive precise-vs-bump cutover state (see invalidateLocal and
+	// adaptTick). precLimit is read on every local invalidation; the
+	// window counters are swapped out every adaptWindow invalidations.
+	precLimit atomic.Int64
+	invTick   atomic.Uint64 // local invalidations since machine start
+	precPages atomic.Uint64 // pages precisely cleared this window
+	genChecks atomic.Uint64 // lookups that replayed the ring this window
 
 	// inbox holds early-ack invalidation requests posted by other
 	// cores; inboxN mirrors its length so the Lookup fast path can skip
@@ -122,6 +134,11 @@ func (c *coreTLB) set(asid ASID, va arch.Vaddr) []slot {
 	return c.slots[i : i+nWays : i+nWays]
 }
 
+func (c *coreTLB) hugeSet(asid ASID, base arch.Vaddr, level int) []slot {
+	i := hugeSetIndex(asid, base, level) * nWays
+	return c.hugeSlots[i : i+nWays : i+nWays]
+}
+
 // Machine is the TLB hardware of the whole simulated machine.
 type Machine struct {
 	mode  Mode
@@ -133,7 +150,9 @@ func NewMachine(cores int, mode Mode) *Machine {
 	m := &Machine{mode: mode, cores: make([]coreTLB, cores)}
 	for i := range m.cores {
 		m.cores[i].slots = make([]slot, nSets*nWays)
+		m.cores[i].hugeSlots = make([]slot, hugeSets*nWays)
 		m.cores[i].cells = make([]epochCell, asidCells)
+		m.cores[i].precLimit.Store(preciseLimitInit)
 	}
 	return m
 }
@@ -162,7 +181,8 @@ func (m *Machine) Lookup(core int, asid ASID, va arch.Vaddr) (pt.Translation, bo
 			continue
 		}
 		if cur := cell.gen.Load(); sgen != cur {
-			cur, live := cell.validate(asid, va, sgen)
+			c.genChecks.Add(1)
+			cur, live := cell.validate(asid, va, va+arch.PageSize, sgen)
 			if !live {
 				c.stats.staleDrops.Add(1)
 				s.clear(seq)
@@ -173,12 +193,54 @@ func (m *Machine) Lookup(core int, asid ASID, va arch.Vaddr) (pt.Translation, bo
 		c.stats.hits.Add(1)
 		return unpackTr(trw), true
 	}
+	return c.lookupHuge(cell, asid, va)
+}
+
+// lookupHuge probes the huge-entry array at each huge level's natural
+// alignment after a base-array miss. A hit is rebased to the 4-KiB
+// page the caller asked about, so callers see ordinary page
+// translations; generation validation uses the whole span, so any
+// overlapping invalidation — even a single 4-KiB record — kills the
+// entry.
+func (c *coreTLB) lookupHuge(cell *epochCell, asid ASID, va arch.Vaddr) (pt.Translation, bool) {
+	hdr := hdrValid | uint64(asid)
+	for _, level := range hugeLevels {
+		span := arch.Vaddr(arch.SpanBytes(level))
+		base := va &^ (span - 1)
+		set := c.hugeSet(asid, base, level)
+		for i := range set {
+			s := &set[i]
+			shdr, sva, sgen, trw, seq, ok := s.read()
+			if !ok || shdr != hdr || sva != uint64(base) || int(trw&7) != level {
+				continue
+			}
+			if cur := cell.gen.Load(); sgen != cur {
+				c.genChecks.Add(1)
+				cur, live := cell.validate(asid, base, base+span, sgen)
+				if !live {
+					c.stats.staleDrops.Add(1)
+					s.clear(seq)
+					continue
+				}
+				s.refreshGen(seq, cur)
+			}
+			c.stats.hits.Add(1)
+			c.stats.hugeHits.Add(1)
+			tr := unpackTr(trw)
+			tr.PFN += arch.PFN(uint64(va-base) / arch.PageSize)
+			return tr, true
+		}
+	}
 	return pt.Translation{}, false
 }
 
 // Insert caches a translation in core's TLB. Mutex-free: the victim
 // way is claimed by a per-slot CAS, and a lost race simply drops the
-// fill (the next access re-walks).
+// fill (the next access re-walks). Huge leaves (tr.Level >= 2) go to
+// the span-indexed huge array: callers pass the 4-KiB page they
+// translated with the page-adjusted PFN (pt.WalkAccess's contract), and
+// Insert normalizes both back to the span base so one fill makes every
+// offset in the leaf hit.
 func (m *Machine) Insert(core int, asid ASID, va arch.Vaddr, tr pt.Translation) {
 	c := &m.cores[core]
 	cell := c.cell(asid)
@@ -189,9 +251,26 @@ func (m *Machine) Insert(core int, asid ASID, va arch.Vaddr, tr pt.Translation) 
 		cell.lastIns.Store(g + 1)
 	}
 	hdr := hdrValid | uint64(asid)
-	set := c.set(asid, va)
-	// Victim preference: the entry itself (re-fill), an empty way, a
-	// generation-stale way, then round-robin capacity replacement.
+	if tr.Level >= 2 {
+		span := arch.Vaddr(arch.SpanBytes(tr.Level))
+		base := va &^ (span - 1)
+		tr.PFN -= arch.PFN(uint64(va-base) / arch.PageSize)
+		set := c.hugeSet(asid, base, tr.Level)
+		if c.fillSet(set, &c.hugeVictim, hdr, uint64(base), g, packTr(tr)) {
+			c.stats.hugeEvicts.Add(1)
+		}
+		return
+	}
+	if c.fillSet(c.set(asid, va), &c.victim, hdr, uint64(va), g, packTr(tr)) {
+		c.stats.evictions.Add(1)
+	}
+}
+
+// fillSet publishes an entry into one set, preferring the entry itself
+// (re-fill), an empty way, a generation-stale way, then round-robin
+// capacity replacement. Reports whether a capacity eviction happened;
+// a fill dropped to a racing writer reports false.
+func (c *coreTLB) fillSet(set []slot, victimCtr *atomic.Uint32, hdr, va, g, trw uint64) bool {
 	var victim *slot
 	var victimSeq uint64
 	score := 0
@@ -201,7 +280,7 @@ func (m *Machine) Insert(core int, asid ASID, va arch.Vaddr, tr pt.Translation) 
 		if !ok {
 			continue
 		}
-		if shdr == hdr && sva == uint64(va) {
+		if shdr == hdr && sva == va {
 			victim, victimSeq, score = s, seq, 3
 			break
 		}
@@ -214,21 +293,26 @@ func (m *Machine) Insert(core int, asid ASID, va arch.Vaddr, tr pt.Translation) 
 			victim, victimSeq, score = s, seq, 1
 		}
 	}
+	evicted := false
 	if victim == nil {
-		s := &c.set(asid, va)[int(c.victim.Add(1))%nWays]
+		s := &set[int(victimCtr.Add(1))%len(set)]
 		seq := s.seq.Load()
 		if seq&1 != 0 {
-			return // racing writer; drop the fill
+			return false // racing writer; drop the fill
 		}
 		victim, victimSeq = s, seq
-		c.stats.evictions.Add(1)
+		evicted = true
 	}
-	victim.write(victimSeq, hdr, uint64(va), g, packTr(tr))
+	victim.write(victimSeq, hdr, va, g, trw)
+	return evicted
 }
 
-// FlushLocal removes (asid, va) from core's own TLB.
+// FlushLocal removes (asid, va) from core's own TLB, including any
+// huge entry whose span contains va.
 func (m *Machine) FlushLocal(core int, asid ASID, va arch.Vaddr) {
-	m.cores[core].clearSlot(asid, va)
+	c := &m.cores[core]
+	c.clearSlot(asid, va)
+	c.clearHugeSpans(asid, va, va+arch.PageSize)
 }
 
 // FlushLocalRange removes asid's entries in [lo, hi) from core's own TLB.
@@ -243,23 +327,62 @@ func (m *Machine) FlushLocalAll(core int, asid ASID) {
 	c.invalidateLocal(Invalidation{ASID: asid, All: true})
 }
 
-// preciseLimit is the largest page count a local invalidation clears
-// slot by slot; wider ranges become one generation bump instead.
-const preciseLimit = 16
+// Adaptive precise-vs-bump cutover. A local invalidation at or below
+// the core's current limit clears slots one by one; wider ranges become
+// a single generation bump. The limit starts at preciseLimitInit and
+// adapts per core from observed outcomes: generation bumps are cheap to
+// issue but tax later lookups (every entry filled before the bump pays
+// a ring replay, and histories that fall off the ring become
+// conservative misses), while precise clears pay a set probe per page
+// up front whether or not anything was cached.
+const (
+	preciseLimitInit = 16
+	preciseLimitMin  = 4
+	preciseLimitMax  = 256
+	// adaptWindow is how many local invalidations pass between limit
+	// adjustments.
+	adaptWindow = 64
+)
 
 // invalidateLocal applies one invalidation to this core's own cache:
-// precisely for a handful of pages, or as a generation bump on its own
-// epoch cell for ranges and full-ASID flushes, leaving dead entries
-// for lookups to discard lazily.
+// precisely for ranges within the adaptive limit, or as a generation
+// bump on its own epoch cell for wider ranges and full-ASID flushes,
+// leaving dead entries for lookups to discard lazily. The precise path
+// also clears any huge entry overlapping the range; the bump path
+// covers huge entries through span-aware ring replay.
 func (c *coreTLB) invalidateLocal(inv Invalidation) {
-	if !inv.All && uint64(inv.Hi-inv.Lo)/arch.PageSize <= preciseLimit {
+	if pages := uint64(inv.Hi-inv.Lo) / arch.PageSize; !inv.All && pages <= uint64(c.precLimit.Load()) {
 		for va := inv.Lo; va < inv.Hi; va += arch.PageSize {
 			c.clearSlot(inv.ASID, va)
 		}
+		c.clearHugeSpans(inv.ASID, inv.Lo, inv.Hi)
+		c.precPages.Add(pages)
+		c.adaptTick()
 		return
 	}
 	c.cell(inv.ASID).bump(inv.ASID, inv.Lo, inv.Hi, inv.All)
 	c.stats.genBumps.Add(1)
+	c.adaptTick()
+}
+
+// adaptTick re-tunes the precise-vs-bump limit once per adaptWindow
+// local invalidations by comparing the two observed costs in slot-probe
+// units: each stale validation replays up to ringLen ring records,
+// each precisely cleared page probes one nWays-wide set. A 2× margin
+// gives hysteresis so mixed workloads don't oscillate.
+func (c *coreTLB) adaptTick() {
+	if c.invTick.Add(1)%adaptWindow != 0 {
+		return
+	}
+	lazyCost := c.genChecks.Swap(0) * ringLen
+	preciseCost := c.precPages.Swap(0) * nWays
+	limit := c.precLimit.Load()
+	switch {
+	case lazyCost > 2*preciseCost && limit < preciseLimitMax:
+		c.precLimit.Store(limit * 2)
+	case preciseCost > 2*lazyCost && limit > preciseLimitMin:
+		c.precLimit.Store(limit / 2)
+	}
 }
 
 // clearSlot empties the slot caching (asid, va), if any.
@@ -272,6 +395,29 @@ func (c *coreTLB) clearSlot(asid ASID, va arch.Vaddr) {
 		if ok && shdr == hdr && sva == uint64(va) {
 			s.clear(seq)
 			return
+		}
+	}
+}
+
+// clearHugeSpans empties every huge entry of asid whose span overlaps
+// [lo, hi). Precise local invalidation must reach the huge array too:
+// after a huge leaf is split into a leaf table (translations unchanged,
+// so the split itself needs no flush), a later small unmap inside the
+// span takes the precise path, and missing the huge slot would leave a
+// stale whole-span translation behind.
+func (c *coreTLB) clearHugeSpans(asid ASID, lo, hi arch.Vaddr) {
+	hdr := hdrValid | uint64(asid)
+	for _, level := range hugeLevels {
+		span := arch.Vaddr(arch.SpanBytes(level))
+		for base := lo &^ (span - 1); base < hi; base += span {
+			set := c.hugeSet(asid, base, level)
+			for i := range set {
+				s := &set[i]
+				shdr, sva, _, trw, seq, ok := s.read()
+				if ok && shdr == hdr && sva == uint64(base) && int(trw&7) == level {
+					s.clear(seq)
+				}
+			}
 		}
 	}
 }
@@ -335,6 +481,7 @@ func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
 	c.stats.shootdowns.Add(1)
 	for _, va := range vas {
 		c.clearSlot(asid, va)
+		c.clearHugeSpans(asid, va, va+arch.PageSize)
 	}
 	switch m.mode {
 	case ModeSync:
@@ -502,6 +649,7 @@ func (m *Machine) ShootdownSync(initiator int, asid ASID, vas []arch.Vaddr) {
 	c.stats.shootdowns.Add(1)
 	for _, va := range vas {
 		c.clearSlot(asid, va)
+		c.clearHugeSpans(asid, va, va+arch.PageSize)
 	}
 	for j := range m.cores {
 		if j == initiator {
@@ -639,6 +787,8 @@ type Stats struct {
 	GenBumps   uint64 // epoch-cell generation bumps
 	Evictions  uint64 // capacity evictions of valid entries
 	StaleDrops uint64 // entries lazily discarded by generation checks
+	HugeHits   uint64 // lookups served by the huge-entry array
+	HugeEvicts uint64 // huge entries displaced by capacity replacement
 }
 
 // HitRate is Hits/Lookups, 0 when idle.
@@ -664,6 +814,8 @@ func (m *Machine) Stats() Stats {
 		out.GenBumps += st.genBumps.Load()
 		out.Evictions += st.evictions.Load()
 		out.StaleDrops += st.staleDrops.Load()
+		out.HugeHits += st.hugeHits.Load()
+		out.HugeEvicts += st.hugeEvicts.Load()
 	}
 	return out
 }

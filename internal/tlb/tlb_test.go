@@ -173,7 +173,7 @@ func TestRingWrapConservativeMiss(t *testing.T) {
 	// covers it — the lazy check must discard it conservatively rather
 	// than guess.
 	for i := 0; i < 2*ringLen; i++ {
-		m.ShootdownRange(0, 1, arch.Vaddr(0x100000+i*0x1000), arch.Vaddr(0x100000+(i+preciseLimit+1)*0x1000))
+		m.ShootdownRange(0, 1, arch.Vaddr(0x100000+i*0x1000), arch.Vaddr(0x100000+(i+preciseLimitInit+1)*0x1000))
 	}
 	if _, ok := m.Lookup(1, 1, 0x1000); ok {
 		t.Error("entry older than the ring survived; wrap must invalidate conservatively")
