@@ -62,6 +62,7 @@ func main() {
 		{"20", func(o bench.Options) error { _, err := bench.Fig20(o); return err }},
 		{"21", wrapApp(bench.Fig21)},
 		{"22", func(o bench.Options) error { _, err := bench.Fig22(o); return err }},
+		{"pressure", func(o bench.Options) error { _, err := bench.FigPressure(o); return err }},
 		{"ablate", bench.Ablations},
 	}
 

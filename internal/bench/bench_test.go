@@ -206,3 +206,22 @@ func TestTable2(t *testing.T) {
 		}
 	}
 }
+
+func TestFigPressure(t *testing.T) {
+	cells, err := FigPressure(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.PagesPerSec <= 0 {
+			t.Errorf("%s ratio=%.2f: no throughput", c.System, c.Ratio)
+		}
+		// Overcommitted points must have been carried by reclaim.
+		if c.Ratio > 1 && c.SwapOuts == 0 {
+			t.Errorf("%s ratio=%.2f completed without swap-outs", c.System, c.Ratio)
+		}
+		if c.Ratio > 1 && c.DirectRounds == 0 {
+			t.Errorf("%s ratio=%.2f completed without direct reclaim", c.System, c.Ratio)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/core"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+)
+
+// PressureCell is one row of the memory-pressure figure: populate
+// throughput at a given ratio of working-set size to physical memory.
+// Below 1.0 the allocator runs from free memory; above it every chunk
+// rides the watermark-driven reclaim path (swap-out plus kswapd-style
+// background sweeps).
+type PressureCell struct {
+	System       System
+	Ratio        float64 // working set / physical memory
+	PagesPerSec  float64
+	SwapOuts     uint64
+	DirectRounds uint64
+	BgSweeps     uint64
+}
+
+// FigPressure measures how populate throughput degrades as free-frame
+// headroom shrinks: the same chunked populate workload is run with the
+// working set at 0.5x, 0.9x, 1.5x and 3x physical memory. The
+// overcommitted points only complete because direct reclaim swaps cold
+// chunks out under the allocation; the printed reclaim counters show
+// which mechanism carried each cell.
+func FigPressure(o Options) ([]PressureCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# Pressure: populate throughput vs free-frame headroom (watermark-driven reclaim)")
+	physFrames := max(256, int(2048*o.Scale))
+	ratios := []float64{0.5, 0.9, 1.5, 3.0}
+	var out []PressureCell
+	for _, sys := range []System{CortenRW, CortenAdv} {
+		for _, ratio := range ratios {
+			cell, err := pressurePoint(sys, physFrames, ratio, o.Repeat)
+			if err != nil {
+				return nil, fmt.Errorf("pressure %s ratio=%.2f: %w", sys, ratio, err)
+			}
+			out = append(out, cell)
+			fmt.Fprintf(o.W, "pressure system=%-10s ratio=%.2f pages/s=%-10.0f swapouts=%-6d direct=%-5d bg=%d\n",
+				cell.System, cell.Ratio, cell.PagesPerSec, cell.SwapOuts, cell.DirectRounds, cell.BgSweeps)
+		}
+	}
+	return out, nil
+}
+
+func pressurePoint(sys System, physFrames int, ratio float64, repeat int) (PressureCell, error) {
+	proto := core.ProtocolAdv
+	if sys == CortenRW {
+		proto = core.ProtocolRW
+	}
+	best := PressureCell{System: sys, Ratio: ratio}
+	pages := int(ratio * float64(physFrames))
+	const chunkPages = 16
+	for r := 0; r < repeat; r++ {
+		m := cpusim.New(cpusim.Config{Cores: 2, Frames: physFrames})
+		a, err := core.New(core.Options{Machine: m, Protocol: proto, SwapDev: mem.NewBlockDev("swap")})
+		if err != nil {
+			return best, err
+		}
+		rm := core.AttachReclaim(m, core.ReclaimConfig{})
+		rm.Register(a)
+		start := time.Now()
+		for done := 0; done < pages; done += chunkPages {
+			n := min(chunkPages, pages-done)
+			if _, err := a.Mmap(0, uint64(n)*arch.PageSize, arch.PermRW, mm.FlagPopulate); err != nil {
+				a.Destroy(0)
+				return best, err
+			}
+		}
+		elapsed := time.Since(start)
+		pps := float64(pages) / elapsed.Seconds()
+		if pps > best.PagesPerSec {
+			best.PagesPerSec = pps
+			best.SwapOuts = a.Stats().SwapOuts.Load()
+			st := rm.Stats()
+			best.DirectRounds = st.DirectRounds
+			best.BgSweeps = st.BgSweeps
+		}
+		a.Destroy(0)
+		m.Quiesce()
+	}
+	return best, nil
+}

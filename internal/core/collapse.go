@@ -19,6 +19,9 @@ func (a *AddrSpace) CollapseHuge(core int, va arch.Vaddr) error {
 	if !a.isa.SupportsHugeAt(2) {
 		return fmt.Errorf("%w: no 2MiB pages on %s", mm.ErrNotSupported, a.isa.Name())
 	}
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
 	t0 := a.kernelEnter()
 	defer a.kernelExit(t0)
 	a.m.OpTick(core)

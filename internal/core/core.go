@@ -89,6 +89,26 @@ type AddrSpace struct {
 
 	// cursors is the per-core transaction-cursor cache (see Lock).
 	cursors []cachedCursor
+
+	// txDepth counts this space's open transactions per core. Direct
+	// reclaim consults it to skip spaces the allocating goroutine
+	// already holds PT-page locks in (MCS locks are not reentrant, so
+	// re-locking from the same goroutine would self-deadlock).
+	txDepth []txCounter
+	// reclaim is the manager this space is registered with, or nil.
+	reclaim *ReclaimManager
+	// oomKilled marks a space torn down by the OOM killer: allocating
+	// syscalls fail fast with ErrOOMKilled, releases still work.
+	oomKilled atomic.Bool
+	// reclaimClock is the clock hand of the per-space reclaim scan
+	// (index into the sorted tracked ranges), guarded by fileMu.
+	reclaimClock int
+}
+
+// txCounter is a cache-line padded per-core transaction counter.
+type txCounter struct {
+	n atomic.Int32
+	_ [60]byte
 }
 
 // cachedCursor is one per-core cursor slot.
@@ -139,6 +159,7 @@ func New(o Options) (*AddrSpace, error) {
 		swapDev: o.SwapDev,
 		vaSizes: make(map[arch.Vaddr]uint64),
 		cursors: make([]cachedCursor, o.Machine.Cores),
+		txDepth: make([]txCounter, o.Machine.Cores),
 	}, nil
 }
 

@@ -15,11 +15,28 @@ import (
 // CortenMM's worst case (§6.2): with no VMA list, the walk is over the
 // page table itself.
 func (a *AddrSpace) Fork(core int) (mm.MM, error) {
+	if err := a.checkAlive(); err != nil {
+		return nil, err
+	}
 	t0 := a.kernelEnter()
 	defer a.kernelExit(t0)
 	a.stats.Forks.Add(1)
 	a.m.OpTick(core)
+	// forkOnce fully unwinds on failure (the half-built child is
+	// destroyed), so the OOM retry path can re-run it after reclaim.
+	var child *AddrSpace
+	err := a.retryOOM(core, func() error {
+		var ferr error
+		child, ferr = a.forkOnce(core)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return child, nil
+}
 
+func (a *AddrSpace) forkOnce(core int) (*AddrSpace, error) {
 	child, err := New(Options{
 		Machine:   a.m,
 		ISA:       a.isa,
@@ -223,7 +240,10 @@ func (a *AddrSpace) SwapOut(core int, va arch.Vaddr, size uint64) (int, error) {
 				continue // only exclusively owned anonymous pages
 			}
 			block := a.swapDev.AllocBlock()
-			a.swapDev.Write(block, a.m.Phys.DataPage(pfn))
+			if err := a.swapDev.Write(block, a.m.Phys.DataPage(pfn)); err != nil {
+				a.swapDev.FreeBlock(block)
+				return n, err
+			}
 			if err := c.Unmap(page, page+arch.PageSize); err != nil {
 				a.swapDev.FreeBlock(block)
 				return n, err

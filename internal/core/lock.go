@@ -114,6 +114,7 @@ func (a *AddrSpace) LockLevel(core int, lo, hi arch.Vaddr, minLevel int) (*RCurs
 	}
 	c.reset(a, core, lo, hi, cached)
 	c.minLevel = minLevel
+	a.txDepth[core].n.Add(1)
 	if a.proto == ProtocolRW {
 		a.lockRW(c)
 	} else {
@@ -254,6 +255,7 @@ func (c *RCursor) Close() {
 	}
 	c.closed = true
 	a := c.a
+	a.txDepth[c.core].n.Add(-1)
 	if a.proto == ProtocolRW {
 		a.state(c.root).RW.Unlock(c.core)
 		for i := len(c.readPath) - 1; i >= 0; i-- {

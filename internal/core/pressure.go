@@ -1,0 +1,392 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mem"
+)
+
+// ErrOOMKilled is returned by allocating syscalls on an address space
+// the OOM killer tore down. Releasing operations (Munmap, Destroy)
+// still work so the caller can clean up.
+var ErrOOMKilled = errors.New("core: address space torn down by OOM killer")
+
+// ReclaimConfig tunes a ReclaimManager.
+type ReclaimConfig struct {
+	// LowWater is the free-frame count below which background reclaim
+	// kicks in (default: 1/8 of physical frames). Background sweeps aim
+	// to restore free frames to twice this mark.
+	LowWater uint64
+	// MinWater is the free-frame floor: the allocator fails hard only
+	// when direct reclaim cannot lift free frames above it (default:
+	// 1/64 of physical frames).
+	MinWater uint64
+	// OOMKill enables the last-resort teardown: when direct reclaim
+	// makes no progress at all, the space with the largest virtual
+	// footprint is killed so one hog cannot wedge every other space.
+	OOMKill bool
+}
+
+// ReclaimManager wires the core layer's reclaim machinery into a
+// machine's physical allocator: it is the mem.ReclaimHook (direct
+// reclaim on the allocating goroutine), the kswapd analogue (background
+// sweeps driven by simulated timer ticks once free frames dip below the
+// low watermark), and the OOM killer of last resort. Reclaim is a clock
+// sweep: a hand rotates over the registered address spaces, and within
+// each space over its tracked VA ranges, swapping cold private
+// anonymous pages out through the space's swap device (ReclaimRange).
+type ReclaimManager struct {
+	m   *cpusim.Machine
+	cfg ReclaimConfig
+
+	mu     sync.Mutex // guards spaces and the space clock hand
+	spaces []*AddrSpace
+	clock  int
+
+	// direct serializes direct reclaimers. The allocation slow path may
+	// run while the allocating goroutine holds PT-page locks; keeping at
+	// most one such reclaimer (TryLock, losers give up) means no cycle
+	// of lock-holding reclaimers can form.
+	direct sync.Mutex
+	// sweeping guards against sweep reentry: ReclaimRange drives
+	// OpTick, whose tick hook must not start a nested sweep.
+	sweeping atomic.Bool
+	// kicked is set by the allocator below the low watermark and
+	// consumed by the next timer tick.
+	kicked atomic.Bool
+
+	directRounds atomic.Uint64
+	bgSweeps     atomic.Uint64
+	reclaimed    atomic.Uint64
+	oomKills     atomic.Uint64
+}
+
+// ReclaimStats is a snapshot of manager activity.
+type ReclaimStats struct {
+	DirectRounds uint64 // direct-reclaim invocations from the slow path
+	BgSweeps     uint64 // background (tick-driven) sweeps
+	Reclaimed    uint64 // pages swapped out by the manager
+	OOMKills     uint64 // address spaces torn down
+}
+
+// Stats snapshots the manager's counters.
+func (rm *ReclaimManager) Stats() ReclaimStats {
+	return ReclaimStats{
+		DirectRounds: rm.directRounds.Load(),
+		BgSweeps:     rm.bgSweeps.Load(),
+		Reclaimed:    rm.reclaimed.Load(),
+		OOMKills:     rm.oomKills.Load(),
+	}
+}
+
+// AttachReclaim builds a ReclaimManager and installs it on the machine:
+// watermarks and the direct-reclaim hook on the physical allocator, the
+// pressure kick, and the background sweeper on the timer tick. Address
+// spaces opt in with Register.
+func AttachReclaim(m *cpusim.Machine, cfg ReclaimConfig) *ReclaimManager {
+	total := uint64(m.Phys.NFrames())
+	if cfg.LowWater == 0 {
+		cfg.LowWater = max(total/8, 1)
+	}
+	if cfg.MinWater == 0 {
+		cfg.MinWater = max(total/64, 1)
+	}
+	rm := &ReclaimManager{m: m, cfg: cfg}
+	m.Phys.SetWatermarks(cfg.LowWater, cfg.MinWater)
+	m.Phys.SetReclaimHook(rm.hook)
+	m.Phys.SetPressureKick(func() { rm.kicked.Store(true) })
+	m.SetTickHook(rm.tick)
+	return rm
+}
+
+// Register adds a to the reclaim clock and enables its syscall-level
+// OOM retry path. The space should have a swap device; without one it
+// is skipped by sweeps.
+func (rm *ReclaimManager) Register(a *AddrSpace) {
+	rm.mu.Lock()
+	rm.spaces = append(rm.spaces, a)
+	rm.mu.Unlock()
+	a.reclaim = rm
+}
+
+// Unregister removes a from the reclaim clock.
+func (rm *ReclaimManager) Unregister(a *AddrSpace) {
+	rm.mu.Lock()
+	for i, s := range rm.spaces {
+		if s == a {
+			rm.spaces = append(rm.spaces[:i], rm.spaces[i+1:]...)
+			break
+		}
+	}
+	rm.mu.Unlock()
+	a.reclaim = nil
+}
+
+// snapshot returns the registered spaces rotated so the clock hand's
+// current position comes first, and advances the hand.
+func (rm *ReclaimManager) snapshot() []*AddrSpace {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	n := len(rm.spaces)
+	if n == 0 {
+		return nil
+	}
+	out := make([]*AddrSpace, 0, n)
+	start := rm.clock % n
+	for i := 0; i < n; i++ {
+		out = append(out, rm.spaces[(start+i)%n])
+	}
+	rm.clock = (start + 1) % n
+	return out
+}
+
+// hook is the mem.ReclaimHook: direct reclaim on the allocating
+// goroutine, which may be inside a page-table transaction. At most one
+// lock-holding reclaimer runs at a time (TryLock); sweep skips any
+// space the calling core has open transactions in, so the reclaimer
+// never re-locks a tree it already holds locks in. Each round ends by
+// driving the calling core's deferred machinery — a TLB tick and an
+// RCU poll, the "backoff via simulated ticks" — so frames freed by the
+// sweep actually reach the allocator before the caller retries.
+func (rm *ReclaimManager) hook(core, target int) int {
+	if !rm.direct.TryLock() {
+		return 0
+	}
+	defer rm.direct.Unlock()
+	rm.directRounds.Add(1)
+	n := rm.doubleSweep(core, target)
+	rm.m.TLB.Tick(core)
+	rm.m.RCU.Poll()
+	if n == 0 && rm.cfg.OOMKill {
+		n = rm.oomKill(core)
+	}
+	return n
+}
+
+// doubleSweep runs up to two clock passes: the first pass over a
+// recently touched range only clears accessed bits (the second-chance
+// policy in ReclaimRange), so a zero-yield first pass is immediately
+// followed by one more before reporting no progress.
+func (rm *ReclaimManager) doubleSweep(core, target int) int {
+	n := rm.sweep(core, target)
+	if n == 0 {
+		n = rm.sweep(core, target)
+	}
+	return n
+}
+
+// DirectReclaim runs one synchronous reclaim round on behalf of core.
+// Unlike the allocator hook it may block waiting for the current
+// reclaimer: callers must hold no PT-page locks (the syscall-level
+// retry path calls it after its failed transaction closed). Returns
+// the number of pages reclaimed (or virtual pages released, if the
+// round escalated to an OOM kill).
+func (rm *ReclaimManager) DirectReclaim(core, target int) int {
+	rm.direct.Lock()
+	defer rm.direct.Unlock()
+	rm.directRounds.Add(1)
+	n := rm.doubleSweep(core, target)
+	rm.m.TLB.Tick(core)
+	rm.m.RCU.Poll()
+	if n == 0 && rm.cfg.OOMKill {
+		n = rm.oomKill(core)
+	}
+	return n
+}
+
+// tick is the machine's timer-tick hook: the kswapd analogue. When an
+// allocation has flagged pressure, the ticking core — which holds no
+// PT-page locks at tick time — sweeps until free frames recover to
+// twice the low watermark. No dedicated goroutine exists because core
+// IDs are an identity here (BRAVO reader slots, MCS queues): a
+// background thread sharing a core ID with a running workload would
+// corrupt per-core lock state.
+func (rm *ReclaimManager) tick(core int) {
+	if !rm.kicked.Load() {
+		return
+	}
+	free := rm.m.Phys.FreeFrames()
+	low, _ := rm.m.Phys.Watermarks()
+	if free >= 2*low {
+		rm.kicked.Store(false)
+		return
+	}
+	rm.bgSweeps.Add(1)
+	rm.sweep(core, int(2*low-free))
+	rm.m.RCU.Poll()
+	// The kick stays set until free frames recover to the high mark
+	// (2x low), so sweeping continues tick after tick under sustained
+	// pressure — a first pass may only clear accessed bits.
+	if rm.m.Phys.FreeFrames() >= 2*low {
+		rm.kicked.Store(false)
+	}
+}
+
+// sweep reclaims up to target pages, rotating the clock hand over the
+// registered spaces. Guarded against reentry (a sweep's own OpTicks
+// re-enter the tick hook). Spaces without a swap device, already
+// killed, or with open transactions on the calling core are skipped.
+func (rm *ReclaimManager) sweep(core, target int) int {
+	if !rm.sweeping.CompareAndSwap(false, true) {
+		return 0
+	}
+	defer rm.sweeping.Store(false)
+	total := 0
+	for _, a := range rm.snapshot() {
+		if total >= target {
+			break
+		}
+		if a.swapDev == nil || a.oomKilled.Load() || a.txDepth[core].n.Load() > 0 {
+			continue
+		}
+		total += a.reclaimSome(core, target-total)
+	}
+	if total > 0 {
+		rm.reclaimed.Add(uint64(total))
+	}
+	return total
+}
+
+// oomKill tears down the registered space with the largest virtual
+// footprint, sparing killed spaces and spaces the calling core holds
+// locks in. Returns the number of virtual pages released (an upper
+// bound on frames freed — never-populated pages count too), so callers
+// treat it as a progress indicator.
+func (rm *ReclaimManager) oomKill(core int) int {
+	var victim *AddrSpace
+	var worst uint64
+	for _, a := range rm.snapshot() {
+		if a.oomKilled.Load() || a.txDepth[core].n.Load() > 0 {
+			continue
+		}
+		if sz := a.virtualSize(); sz > worst {
+			worst, victim = sz, a
+		}
+	}
+	if victim == nil {
+		return 0
+	}
+	rm.oomKills.Add(1)
+	return victim.oomTeardown(core)
+}
+
+// vaRange is one tracked VA allocation.
+type vaRange struct {
+	va arch.Vaddr
+	sz uint64
+}
+
+// trackedRanges snapshots the space's VA allocations in address order.
+func (a *AddrSpace) trackedRanges() []vaRange {
+	a.fileMu.Lock()
+	defer a.fileMu.Unlock()
+	out := make([]vaRange, 0, len(a.vaSizes))
+	for va, sz := range a.vaSizes {
+		out = append(out, vaRange{va, sz})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].va < out[j].va })
+	return out
+}
+
+// virtualSize is the space's tracked virtual footprint in bytes.
+func (a *AddrSpace) virtualSize() uint64 {
+	a.fileMu.Lock()
+	defer a.fileMu.Unlock()
+	var n uint64
+	for _, sz := range a.vaSizes {
+		n += sz
+	}
+	return n
+}
+
+// reclaimSome swaps out up to target cold pages from this space,
+// resuming the per-space clock hand where the previous sweep left off.
+// Errors (e.g. an injected swap-write failure) end the sweep early with
+// whatever progress was made; ReclaimRange's unwind keeps the page
+// resident, so nothing is lost.
+func (a *AddrSpace) reclaimSome(core, target int) int {
+	ranges := a.trackedRanges()
+	if len(ranges) == 0 {
+		return 0
+	}
+	a.fileMu.Lock()
+	start := a.reclaimClock % len(ranges)
+	a.fileMu.Unlock()
+	total, visited := 0, 0
+	for i := 0; i < len(ranges) && total < target; i++ {
+		r := ranges[(start+i)%len(ranges)]
+		visited++
+		n, err := a.ReclaimRange(core, r.va, r.sz, target-total)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	a.fileMu.Lock()
+	a.reclaimClock = start + visited
+	a.fileMu.Unlock()
+	return total
+}
+
+// oomTeardown is the last-resort unwind: mark the space killed (new
+// allocating syscalls fail with ErrOOMKilled) and unmap every tracked
+// range, releasing its frames and swap blocks. Returns the number of
+// virtual pages released. Idempotent.
+func (a *AddrSpace) oomTeardown(core int) int {
+	if !a.oomKilled.CompareAndSwap(false, true) {
+		return 0
+	}
+	released := 0
+	for _, r := range a.trackedRanges() {
+		if err := a.Munmap(core, r.va, r.sz); err == nil {
+			released += int(r.sz / arch.PageSize)
+		}
+	}
+	a.m.RCU.Poll()
+	return released
+}
+
+// OOMKilled reports whether this space was torn down by the OOM killer.
+func (a *AddrSpace) OOMKilled() bool { return a.oomKilled.Load() }
+
+// checkAlive gates allocating syscalls on killed spaces.
+func (a *AddrSpace) checkAlive() error {
+	if a.oomKilled.Load() {
+		return fmt.Errorf("%w", ErrOOMKilled)
+	}
+	return nil
+}
+
+// Syscall-level retry tuning: a failed allocating syscall retries up to
+// oomRetries times, each preceded by a direct-reclaim round asking for
+// oomRetryTarget pages.
+const (
+	oomRetries     = 3
+	oomRetryTarget = 64
+)
+
+// retryOOM runs op; when it fails with an out-of-memory-class error and
+// the space is registered with a reclaim manager, it runs direct
+// reclaim — from syscall context, with no locks held, so this time the
+// sweep may target this very space — and retries, bounded. This is the
+// hardened unwind path: op must be a complete transaction (lock, work,
+// close, undo on failure) so re-running it from scratch is sound.
+func (a *AddrSpace) retryOOM(core int, op func() error) error {
+	err := op()
+	for attempt := 0; attempt < oomRetries; attempt++ {
+		if err == nil || !errors.Is(err, mem.ErrOutOfMemory) || a.reclaim == nil {
+			return err
+		}
+		if a.reclaim.DirectReclaim(core, oomRetryTarget) == 0 {
+			return err
+		}
+		err = op()
+	}
+	return err
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+)
+
+// TestPressurePopulateOvercommit is the headline acceptance test: on a
+// 128-frame machine with a swap device, a populate workload 4x larger
+// than physical memory completes through direct reclaim instead of
+// returning ErrOutOfMemory, data survives the swap round trips, and the
+// frame table audits clean afterwards.
+func TestPressurePopulateOvercommit(t *testing.T) {
+	for _, p := range protocols {
+		t.Run(p.String(), func(t *testing.T) {
+			const (
+				physFrames = 128
+				chunkPages = 16
+				chunks     = 32 // 512 pages = 4x physical memory
+			)
+			m := cpusim.New(cpusim.Config{Cores: 2, Frames: physFrames})
+			dev := mem.NewBlockDev("swap")
+			a, err := New(Options{Machine: m, Protocol: p, SwapDev: dev})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rm := AttachReclaim(m, ReclaimConfig{})
+			rm.Register(a)
+			defer a.Destroy(0)
+
+			vas := make([]arch.Vaddr, 0, chunks)
+			for c := 0; c < chunks; c++ {
+				va, err := a.Mmap(0, chunkPages*arch.PageSize, arch.PermRW, mm.FlagPopulate)
+				if err != nil {
+					t.Fatalf("chunk %d/%d failed despite reclaimable memory: %v", c, chunks, err)
+				}
+				vas = append(vas, va)
+				// Stamp every page so swap round trips are observable.
+				for i := 0; i < chunkPages; i++ {
+					if err := a.Store(0, va+arch.Vaddr(i*arch.PageSize), byte(c*chunkPages+i)); err != nil {
+						t.Fatalf("store chunk %d page %d: %v", c, i, err)
+					}
+				}
+			}
+			if dev.InUse() == 0 {
+				t.Fatal("overcommit completed without touching swap")
+			}
+			st := rm.Stats()
+			if st.DirectRounds == 0 {
+				t.Error("no direct-reclaim rounds ran")
+			}
+			if st.Reclaimed == 0 {
+				t.Error("manager reclaimed nothing")
+			}
+			// Every page readable with its pattern — most need swap-in,
+			// which itself allocates under pressure.
+			for c := 0; c < chunks; c++ {
+				for i := 0; i < chunkPages; i++ {
+					b, err := a.Load(0, vas[c]+arch.Vaddr(i*arch.PageSize))
+					if err != nil {
+						t.Fatalf("load chunk %d page %d: %v", c, i, err)
+					}
+					if b != byte(c*chunkPages+i) {
+						t.Fatalf("chunk %d page %d = %d after swap round trip", c, i, b)
+					}
+				}
+			}
+			if a.Stats().SwapOuts.Load() == 0 || a.Stats().SwapIns.Load() == 0 {
+				t.Errorf("swap traffic: outs=%d ins=%d",
+					a.Stats().SwapOuts.Load(), a.Stats().SwapIns.Load())
+			}
+			m.Quiesce()
+			if rep := m.Phys.Audit(); !rep.Ok() {
+				t.Fatalf("%s", rep.String())
+			}
+			checkWF(t, a)
+			// Full teardown returns every frame.
+			for _, va := range vas {
+				if err := a.Munmap(0, va, chunkPages*arch.PageSize); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.Quiesce()
+			if rep := m.Phys.Audit(); !rep.Ok() {
+				t.Fatalf("after teardown: %s", rep.String())
+			}
+			if n := m.Phys.KindFrames(mem.KindAnon); n != 0 {
+				t.Errorf("%d anon frames leaked", n)
+			}
+		})
+	}
+}
+
+// TestKswapdBackgroundSweep: allocations dipping below the low
+// watermark kick tick-driven background sweeps that swap cold pages out
+// until free frames recover toward the high mark.
+func TestKswapdBackgroundSweep(t *testing.T) {
+	const frames = 256
+	m := cpusim.New(cpusim.Config{Cores: 2, Frames: frames, TickEvery: 8})
+	dev := mem.NewBlockDev("swap")
+	a, err := New(Options{Machine: m, Protocol: ProtocolAdv, SwapDev: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := AttachReclaim(m, ReclaimConfig{LowWater: 64, MinWater: 8})
+	rm.Register(a)
+	defer a.Destroy(0)
+
+	// Drop free frames below the low watermark (64): populate ~200.
+	va, err := a.Mmap(0, 200*arch.PageSize, arch.PermRW, mm.FlagPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := m.Phys.FreeFrames(); free >= 64 {
+		t.Fatalf("setup failed to create pressure: %d free", free)
+	}
+	// Resident accesses hit the TLB and never reach OpTick, so advance
+	// the event clock directly; the sweeper needs several timer ticks
+	// (second-chance pass first, then eviction).
+	for i := 0; i < 512; i++ {
+		m.OpTick(0)
+	}
+	if _, err := a.Load(0, va); err != nil {
+		t.Fatal(err)
+	}
+	if rm.Stats().BgSweeps == 0 {
+		t.Fatal("no background sweeps despite sustained pressure")
+	}
+	if a.Stats().SwapOuts.Load() == 0 {
+		t.Fatal("background sweeps reclaimed nothing")
+	}
+	m.Quiesce()
+	if rep := m.Phys.Audit(); !rep.Ok() {
+		t.Fatalf("%s", rep.String())
+	}
+}
+
+// TestOOMKillTeardown: with reclaim impossible (no swap device), a hog
+// exhausting physical memory is torn down by the OOM killer so another
+// space's allocation can complete; the killed space fails fast
+// afterwards but can still be cleaned up.
+func TestOOMKillTeardown(t *testing.T) {
+	const frames = 256
+	m := cpusim.New(cpusim.Config{Cores: 2, Frames: frames})
+	hog, err := New(Options{Machine: m, Protocol: ProtocolAdv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := New(Options{Machine: m, Protocol: ProtocolAdv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := AttachReclaim(m, ReclaimConfig{OOMKill: true})
+	rm.Register(hog)
+	rm.Register(small)
+
+	// The hog takes nearly everything.
+	if _, err := hog.Mmap(0, 200*arch.PageSize, arch.PermRW, mm.FlagPopulate); err != nil {
+		t.Fatal(err)
+	}
+	// The small space needs more than what's left; without the OOM
+	// killer this would fail (no swap device to reclaim through).
+	va, err := small.Mmap(1, 64*arch.PageSize, arch.PermRW, mm.FlagPopulate)
+	if err != nil {
+		t.Fatalf("small space wedged by the hog: %v", err)
+	}
+	if !hog.OOMKilled() {
+		t.Fatal("hog survived")
+	}
+	if got := rm.Stats().OOMKills; got != 1 {
+		t.Fatalf("OOMKills = %d, want 1", got)
+	}
+	// The killed space fails fast on allocating syscalls...
+	if _, err := hog.Mmap(0, arch.PageSize, arch.PermRW, 0); !errors.Is(err, ErrOOMKilled) {
+		t.Fatalf("killed space Mmap returned %v, want ErrOOMKilled", err)
+	}
+	if err := hog.Touch(0, 0x1000, 0); !errors.Is(err, ErrOOMKilled) && !errors.Is(err, errSegv) {
+		t.Fatalf("killed space Touch returned %v", err)
+	}
+	// ...but the survivor is fully functional.
+	for i := 0; i < 64; i++ {
+		if err := small.Store(1, va+arch.Vaddr(i*arch.PageSize), byte(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rm.Unregister(hog)
+	rm.Unregister(small)
+	hog.Destroy(0)
+	small.Destroy(1)
+	m.Quiesce()
+	if rep := m.Phys.Audit(); !rep.Ok() {
+		t.Fatalf("%s", rep.String())
+	}
+	if n := m.Phys.KindFrames(mem.KindAnon); n != 0 {
+		t.Errorf("%d anon frames leaked", n)
+	}
+}

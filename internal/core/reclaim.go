@@ -73,9 +73,13 @@ func (a *AddrSpace) ReclaimRange(core int, va arch.Vaddr, size uint64, target in
 			if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
 				continue
 			}
-			// Cold page: swap it out.
+			// Cold page: swap it out. A failed device write keeps the
+			// page resident — the frame is not reclaimed, nothing leaks.
 			block := a.swapDev.AllocBlock()
-			a.swapDev.Write(block, a.m.Phys.DataPage(pfn))
+			if err := a.swapDev.Write(block, a.m.Phys.DataPage(pfn)); err != nil {
+				a.swapDev.FreeBlock(block)
+				return reclaimed, err
+			}
 			if err := c.Unmap(page, page+arch.PageSize); err != nil {
 				a.swapDev.FreeBlock(block)
 				return reclaimed, err

@@ -48,11 +48,21 @@ func alignSize(size uint64, fl mm.Flags) uint64 {
 }
 
 func (a *AddrSpace) mmapAt(core int, va arch.Vaddr, size uint64, perm arch.Perm, fl mm.Flags, checkExists bool) error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
 	t0 := a.kernelEnter()
 	defer a.kernelExit(t0)
 	a.stats.Mmaps.Add(1)
 	a.m.OpTick(core)
+	// The attempt is a complete transaction that fully unwinds on
+	// failure, so the OOM retry path can re-run it after direct reclaim.
+	return a.retryOOM(core, func() error {
+		return a.mmapAttempt(core, va, size, perm, fl, checkExists)
+	})
+}
 
+func (a *AddrSpace) mmapAttempt(core int, va arch.Vaddr, size uint64, perm arch.Perm, fl mm.Flags, checkExists bool) error {
 	c, err := a.Lock(core, va, va+arch.Vaddr(size))
 	if err != nil {
 		return err
@@ -96,6 +106,9 @@ func (a *AddrSpace) mmapAt(core int, va arch.Vaddr, size uint64, perm arch.Perm,
 // MmapFile implements mm.MM: map size bytes of f from page offset pgoff,
 // shared or private (copy-on-write).
 func (a *AddrSpace) MmapFile(core int, f *mem.File, pgoff, size uint64, perm arch.Perm, shared bool) (arch.Vaddr, error) {
+	if err := a.checkAlive(); err != nil {
+		return 0, err
+	}
 	t0 := a.kernelEnter()
 	size = alignSize(size, 0)
 	a.stats.Mmaps.Add(1)
@@ -292,9 +305,21 @@ func (a *AddrSpace) translate(core int, va arch.Vaddr, acc pt.Access) (pt.Transl
 	return pt.Translation{}, fmt.Errorf("core: translation livelock at %#x", va)
 }
 
-// pageFault is the Figure-8 handler: the whole fault executes inside one
-// transaction on the faulting page.
+// pageFault is the Figure-8 handler with the hardened OOM unwind: a
+// fault that fails for lack of frames closes its transaction, runs
+// direct reclaim from syscall context (no locks held) and re-faults,
+// bounded by the retry budget.
 func (a *AddrSpace) pageFault(core int, va arch.Vaddr, acc pt.Access) error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
+	return a.retryOOM(core, func() error {
+		return a.pageFaultOnce(core, va, acc)
+	})
+}
+
+// pageFaultOnce runs one whole fault inside one transaction.
+func (a *AddrSpace) pageFaultOnce(core int, va arch.Vaddr, acc pt.Access) error {
 	t0 := a.kernelEnter()
 	defer a.kernelExit(t0)
 	a.stats.PageFaults.Add(1)

@@ -42,6 +42,12 @@ type Machine struct {
 	tickEvery int
 	ticks     []tickState
 	nextASID  atomic.Uint32
+	// tickHook is an optional callback run at each timer tick after the
+	// LATR sweep and RCU poll — the core layer hangs kswapd-style
+	// background reclaim off it. It runs on the ticking core's
+	// goroutine, which at tick time holds no page-table locks (OpTick
+	// is always called before a transaction begins).
+	tickHook atomic.Pointer[func(core int)]
 }
 
 type tickState struct {
@@ -99,15 +105,29 @@ func (m *Machine) Run(n int, fn func(core int)) {
 	wg.Wait()
 }
 
+// SetTickHook registers fn to run at every timer tick (nil unregisters).
+// fn must tolerate concurrent invocation from different cores and must
+// not assume any locks are held.
+func (m *Machine) SetTickHook(fn func(core int)) {
+	if fn == nil {
+		m.tickHook.Store(nil)
+		return
+	}
+	m.tickHook.Store(&fn)
+}
+
 // OpTick advances core's event clock; every TickEvery events the core
-// takes a "timer interrupt": it sweeps LATR buffers and polls RCU.
-// Workloads call this once per high-level operation.
+// takes a "timer interrupt": it sweeps LATR buffers, polls RCU and runs
+// the tick hook. Workloads call this once per high-level operation.
 func (m *Machine) OpTick(core int) {
 	t := &m.ticks[core]
 	t.n++
 	if t.n%uint64(m.tickEvery) == 0 {
 		m.TLB.Tick(core)
 		m.RCU.Poll()
+		if h := m.tickHook.Load(); h != nil {
+			(*h)(core)
+		}
 	}
 }
 

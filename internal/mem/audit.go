@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+
+	"cortenmm/internal/arch"
+)
+
+// AuditReport is the result of a PhysMem.Audit pass: a frame-table walk
+// cross-checked against the kind counters and the allocator's free
+// lists. An empty Problems slice means every invariant held.
+type AuditReport struct {
+	// Problems lists every invariant violation found, one per line.
+	Problems []string
+	// ByKind is the per-kind frame count derived from the descriptors.
+	ByKind [numKinds]int64
+	// FreeByDesc is the number of frames with Ref == 0 per the table.
+	FreeByDesc uint64
+	// BuddyFree and PCPFree are the allocator's own free counts.
+	BuddyFree uint64
+	// PCPFree is the total frames sitting in per-core caches.
+	PCPFree uint64
+}
+
+// Ok reports whether the audit found no violations.
+func (r *AuditReport) Ok() bool { return len(r.Problems) == 0 }
+
+// String renders the report for test failures.
+func (r *AuditReport) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("audit clean: free=%d (buddy=%d pcp=%d)",
+			r.FreeByDesc, r.BuddyFree, r.PCPFree)
+	}
+	return fmt.Sprintf("audit found %d problem(s):\n  %s",
+		len(r.Problems), strings.Join(r.Problems, "\n  "))
+}
+
+func (r *AuditReport) addf(format string, args ...any) {
+	if len(r.Problems) < 32 { // cap the noise from cascading failures
+		r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// Audit walks the frame table and cross-checks it against the kind
+// counters and the buddy + pcp free lists. It verifies, per frame:
+// Ref == 0 implies KindFree, MapCount == 0 and no stale tail marker;
+// Ref > 0 implies a non-free kind and MapCount within [0, Ref] for
+// mapped kinds; tail markers point at a live head whose order covers
+// the member. Globally: descriptor-derived kind totals equal the kinds
+// counters, descriptor-derived free frames equal buddy + pcp free
+// counts (a mismatch is a leaked or double-freed frame), and every
+// frame on a free list has a free descriptor.
+//
+// Audit takes no global lock: callers must quiesce the system first
+// (no concurrent allocation/free, RCU drained) or the counts will be
+// torn. Tests run it after cpusim.Machine.Quiesce.
+func (m *PhysMem) Audit() AuditReport {
+	var r AuditReport
+	// Pass 1: the frame table. Frame 0 is the reserved NULL frame and
+	// lives outside both the table invariants and the free lists.
+	for pfn := 1; pfn < len(m.frames); pfn++ {
+		d := &m.frames[pfn]
+		if t := d.tail; t != 0 {
+			head := int(t - 1)
+			if head < 0 || head >= pfn {
+				r.addf("frame %#x: tail marker points at bad head %#x", pfn, head)
+				continue
+			}
+			h := &m.frames[head]
+			if h.Ref.Load() <= 0 {
+				r.addf("frame %#x: tail of free head %#x", pfn, head)
+			}
+			if head+1<<h.Order <= pfn {
+				r.addf("frame %#x: outside head %#x order %d span", pfn, head, h.Order)
+			}
+			continue
+		}
+		ref := d.Ref.Load()
+		mc := d.MapCount.Load()
+		switch {
+		case ref < 0:
+			r.addf("frame %#x: negative refcount %d", pfn, ref)
+		case ref == 0:
+			if d.Kind != KindFree {
+				r.addf("frame %#x: Ref==0 but kind %s", pfn, d.Kind)
+			}
+			if mc != 0 {
+				r.addf("frame %#x: free with MapCount %d", pfn, mc)
+			}
+			r.FreeByDesc++
+		default:
+			if d.Kind == KindFree {
+				r.addf("frame %#x: Ref==%d but marked free", pfn, ref)
+				continue
+			}
+			r.ByKind[d.Kind] += 1 << d.Order
+			if mc < 0 {
+				r.addf("frame %#x: negative MapCount %d", pfn, mc)
+			}
+			if (d.Kind == KindAnon || d.Kind == KindFile) && mc > ref {
+				r.addf("frame %#x (%s): MapCount %d exceeds Ref %d — refcount skew",
+					pfn, d.Kind, mc, ref)
+			}
+		}
+	}
+	// Pass 2: kind counters vs the table.
+	for k := KindAnon; k < numKinds; k++ {
+		if got, want := m.kinds[k].Load(), r.ByKind[k]; got != want {
+			r.addf("kind %s: counter says %d frames, table says %d", k, got, want)
+		}
+	}
+	// Pass 3: allocator free lists vs the table.
+	r.BuddyFree = m.buddy.freeCount()
+	r.PCPFree = m.pcpCached()
+	if r.FreeByDesc != r.BuddyFree+r.PCPFree {
+		r.addf("leak: %d frames free by descriptor, %d in allocator (buddy %d + pcp %d)",
+			r.FreeByDesc, r.BuddyFree+r.PCPFree, r.BuddyFree, r.PCPFree)
+	}
+	m.buddy.forEachFree(func(pfn arch.PFN, order int) {
+		for i := arch.PFN(0); i < 1<<order; i++ {
+			d := &m.frames[pfn+i]
+			if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail != 0 {
+				r.addf("buddy free list holds live frame %#x (block %#x order %d)",
+					pfn+i, pfn, order)
+				return
+			}
+		}
+	})
+	for i := range m.pcp {
+		for _, pfn := range m.pcp[i].snapshot() {
+			d := &m.frames[pfn]
+			if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail != 0 {
+				r.addf("pcp cache %d holds live frame %#x", i, pfn)
+			}
+		}
+	}
+	return r
+}

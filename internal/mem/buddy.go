@@ -2,6 +2,7 @@ package mem
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"cortenmm/internal/arch"
 )
@@ -23,8 +24,17 @@ type buddy struct {
 	next   []int32
 	prev   []int32
 	heads  [MaxOrder + 1]int32
-	nfree  uint64 // free frames (not blocks)
+	// free counts free frames (not blocks); mutated only under mu with
+	// plain arithmetic. Each exported operation publishes it to nfree on
+	// unlock so watermark checks on allocation paths read it lock-free
+	// without per-frame atomic traffic inside the coalescing loops.
+	free_ int64
+	nfree atomic.Int64
 }
+
+// publish mirrors the locked free counter into the lock-free one; call
+// before releasing mu in any operation that moved frames.
+func (b *buddy) publish() { b.nfree.Store(b.free_) }
 
 func (b *buddy) init(nframes int) {
 	b.n = nframes
@@ -50,6 +60,7 @@ func (b *buddy) init(nframes int) {
 		b.pushFree(int32(pfn), o)
 		pfn += 1 << o
 	}
+	b.publish()
 }
 
 func (b *buddy) pushFree(pfn int32, order int) {
@@ -61,7 +72,7 @@ func (b *buddy) pushFree(pfn int32, order int) {
 		b.prev[h] = pfn
 	}
 	b.heads[order] = pfn
-	b.nfree += 1 << order
+	b.free_ += 1 << order
 }
 
 func (b *buddy) unlink(pfn int32, order int) {
@@ -74,7 +85,7 @@ func (b *buddy) unlink(pfn int32, order int) {
 		b.prev[n] = b.prev[pfn]
 	}
 	b.isFree[pfn] = false
-	b.nfree -= 1 << order
+	b.free_ -= 1 << order
 }
 
 // alloc removes one naturally aligned block of 2^order frames.
@@ -82,6 +93,7 @@ func (b *buddy) alloc(order int) (arch.PFN, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	pfn, ok := b.allocLocked(order)
+	b.publish()
 	return pfn, ok
 }
 
@@ -108,6 +120,7 @@ func (b *buddy) free(pfn arch.PFN, order int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.freeLocked(int32(pfn), order)
+	b.publish()
 }
 
 func (b *buddy) freeLocked(pfn int32, order int) {
@@ -131,6 +144,7 @@ func (b *buddy) freeLocked(pfn int32, order int) {
 func (b *buddy) allocBatch(buf []arch.PFN) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	defer b.publish()
 	for i := range buf {
 		pfn, ok := b.allocLocked(0)
 		if !ok {
@@ -148,12 +162,21 @@ func (b *buddy) freeBatch(pfns []arch.PFN) {
 	for _, pfn := range pfns {
 		b.freeLocked(int32(pfn), 0)
 	}
+	b.publish()
 }
 
-func (b *buddy) freeCount() uint64 {
+func (b *buddy) freeCount() uint64 { return uint64(b.nfree.Load()) }
+
+// forEachFree visits every free block (head PFN + order) under the
+// buddy lock — the auditor's view of the free lists.
+func (b *buddy) forEachFree(fn func(pfn arch.PFN, order int)) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.nfree
+	for o := 0; o <= MaxOrder; o++ {
+		for p := b.heads[o]; p != noBlock; p = b.next[p] {
+			fn(arch.PFN(p), o)
+		}
+	}
 }
 
 // pcp sizing: caches hold up to pcpHigh order-0 frames and move
@@ -219,4 +242,21 @@ func (c *pcpCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.frames)
+}
+
+// drain steals the cache's entire contents — the allocation slow path
+// returns them to the buddy so they can coalesce and serve any core.
+func (c *pcpCache) drain() []arch.PFN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs := c.frames
+	c.frames = nil
+	return fs
+}
+
+// snapshot copies the cache contents for the auditor.
+func (c *pcpCache) snapshot() []arch.PFN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]arch.PFN(nil), c.frames...)
 }

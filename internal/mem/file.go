@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cortenmm/internal/arch"
+	"cortenmm/internal/fault"
 )
 
 // RMapTarget is implemented by address spaces so reverse mapping can walk
@@ -190,13 +191,21 @@ func (d *BlockDev) FreeBlock(b uint64) {
 	d.nalloc--
 }
 
-// Write stores a page-sized buffer into block b (swap-out I/O).
-func (d *BlockDev) Write(b uint64, data []byte) {
+// Write stores a page-sized buffer into block b (swap-out I/O). A
+// failed write (only the swap.write fault site fails in simulation)
+// leaves the block unmodified; callers must free the block and keep the
+// page resident. The error wraps ErrOutOfMemory because a failed
+// swap-out means the frame could not be reclaimed.
+func (d *BlockDev) Write(b uint64, data []byte) error {
+	if fault.SwapWrite.Fire() {
+		return fault.SwapWrite.Errorf(ErrOutOfMemory)
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.blocks[b] = buf
+	return nil
 }
 
 // Read copies block b into buf (swap-in I/O). Unwritten blocks read as

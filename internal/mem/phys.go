@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"cortenmm/internal/arch"
+	"cortenmm/internal/fault"
 )
 
 // Kind classifies what a physical frame is used for. The accounting per
@@ -78,8 +79,10 @@ type FrameDesc struct {
 	// words is the PT-page payload: 512 PTEs accessed atomically.
 	words *[arch.PTEntries]uint64
 	// data is the lazily allocated data payload for content-carrying
-	// tests and COW copies.
-	data []byte
+	// tests and COW copies. Published by CAS: two cores may race the
+	// first touch of a shared frame, so the winner installs the buffer
+	// and losers adopt it.
+	data atomic.Pointer[[]byte]
 	// tail is head-PFN+1 when this frame is a non-head member of a
 	// multi-frame (huge) block, 0 otherwise.
 	tail int64
@@ -95,6 +98,21 @@ type RMapRef struct {
 	Anon any
 }
 
+// ReclaimHook is the direct-reclaim callback the core layer registers:
+// try to free up to target frames on behalf of core, returning how many
+// pages it reclaimed. It runs on the allocating goroutine, which may be
+// inside a page-table transaction — implementations must skip address
+// spaces that goroutine already holds locks in (see core.ReclaimManager).
+type ReclaimHook func(core, target int) int
+
+// Allocation slow-path tuning: on buddy exhaustion the allocator drains
+// the per-core caches, then runs up to reclaimRounds direct-reclaim
+// rounds (each followed by another drain) before failing hard.
+const (
+	reclaimRounds = 4
+	reclaimTarget = 32 // frames requested from the hook per round
+)
+
 // PhysMem is the simulated physical memory: a frame table plus a buddy
 // allocator with per-core frame caches.
 type PhysMem struct {
@@ -102,6 +120,18 @@ type PhysMem struct {
 	buddy  buddy
 	pcp    []pcpCache
 	kinds  [numKinds]atomic.Int64 // frames allocated per kind
+
+	// lowWater/minWater are the reclaim watermarks in frames (0 =
+	// disabled). Dropping below low kicks background reclaim; the
+	// allocator only fails hard once direct reclaim cannot lift free
+	// frames above min.
+	lowWater atomic.Uint64
+	minWater atomic.Uint64
+	// reclaim is the registered direct-reclaim hook, if any.
+	reclaim atomic.Pointer[ReclaimHook]
+	// kick is invoked (from allocation paths, so it must be cheap and
+	// non-blocking) when free frames drop below the low watermark.
+	kick atomic.Pointer[func()]
 }
 
 // NewPhysMem creates a physical memory of nframes 4-KiB frames serving
@@ -128,52 +158,187 @@ func (m *PhysMem) Desc(pfn arch.PFN) *FrameDesc { return &m.frames[pfn] }
 // ErrOutOfMemory is returned when no frame of the requested order exists.
 var ErrOutOfMemory = fmt.Errorf("mem: out of physical memory")
 
+// SetWatermarks configures the reclaim watermarks, in frames. Zero
+// disables the corresponding behavior.
+func (m *PhysMem) SetWatermarks(low, min uint64) {
+	m.lowWater.Store(low)
+	m.minWater.Store(min)
+}
+
+// Watermarks returns the configured (low, min) watermarks in frames.
+func (m *PhysMem) Watermarks() (low, min uint64) {
+	return m.lowWater.Load(), m.minWater.Load()
+}
+
+// SetReclaimHook registers the direct-reclaim callback (nil unregisters).
+func (m *PhysMem) SetReclaimHook(h ReclaimHook) {
+	if h == nil {
+		m.reclaim.Store(nil)
+		return
+	}
+	m.reclaim.Store(&h)
+}
+
+// SetPressureKick registers fn to be called when an allocation observes
+// free frames below the low watermark (nil unregisters). fn must be
+// cheap and non-blocking — typically it just sets a flag a background
+// sweeper picks up at the next timer tick.
+func (m *PhysMem) SetPressureKick(fn func()) {
+	if fn == nil {
+		m.kick.Store(nil)
+		return
+	}
+	m.kick.Store(&fn)
+}
+
+// checkPressure kicks background reclaim when free frames (buddy only —
+// one atomic load, no locks) dip below the low watermark.
+func (m *PhysMem) checkPressure() {
+	low := m.lowWater.Load()
+	if low == 0 || m.buddy.freeCount() >= low {
+		return
+	}
+	if k := m.kick.Load(); k != nil {
+		(*k)()
+	}
+}
+
+// DrainPCP flushes every per-core frame cache back into the buddy so
+// scattered order-0 frames can coalesce into higher orders and so one
+// core's hoard is visible to all. Returns the number of frames moved.
+func (m *PhysMem) DrainPCP() int {
+	total := 0
+	for i := range m.pcp {
+		if fs := m.pcp[i].drain(); len(fs) > 0 {
+			m.buddy.freeBatch(fs)
+			total += len(fs)
+		}
+	}
+	return total
+}
+
+// allocSlow is the allocation slow path, entered on buddy exhaustion.
+// Rung one drains the pcp caches back to the buddy and retries. If that
+// fails it runs bounded direct-reclaim rounds through the registered
+// hook — the hook performs its own backoff by driving simulated timer
+// ticks (TLB sweeps + RCU polls) so deferred frees reach the allocator
+// — retrying after each. It fails hard only when a round reclaims
+// nothing while free frames sit at or below the min watermark, or after
+// reclaimRounds rounds. retry must re-attempt the original allocation
+// and report success.
+func (m *PhysMem) allocSlow(core int, retry func() bool) bool {
+	m.DrainPCP()
+	if retry() {
+		return true
+	}
+	hp := m.reclaim.Load()
+	if hp == nil {
+		return false
+	}
+	hook := *hp
+	for round := 0; round < reclaimRounds; round++ {
+		got := hook(core, reclaimTarget)
+		m.DrainPCP()
+		if retry() {
+			return true
+		}
+		// A zero-progress round above the min watermark is not yet a
+		// hard failure — deferred frees may still land (the hook's tick
+		// backoff drains them); below min with no progress, stop early.
+		if got == 0 && m.FreeFrames() < m.minWater.Load() {
+			break
+		}
+	}
+	return false
+}
+
 // AllocFrame allocates one 4-KiB frame of the given kind, preferring the
 // calling core's frame cache. The frame starts with Ref == 1.
 func (m *PhysMem) AllocFrame(core int, kind Kind) (arch.PFN, error) {
+	if fault.MemAllocFrame.Fire() {
+		return 0, fault.MemAllocFrame.Errorf(ErrOutOfMemory)
+	}
 	pfn, ok := m.pcp[core].pop()
 	if !ok {
-		var batch [pcpBatch]arch.PFN
-		n := m.buddy.allocBatch(batch[:])
-		if n == 0 {
-			return 0, ErrOutOfMemory
-		}
-		pfn = batch[n-1]
-		m.pcp[core].fill(batch[:n-1])
+		pfn, ok = m.refill(core)
+	}
+	if !ok {
+		ok = m.allocSlow(core, func() bool {
+			pfn, ok = m.refill(core)
+			return ok
+		})
+	}
+	if !ok {
+		return 0, ErrOutOfMemory
 	}
 	m.initFrame(pfn, kind, 0)
+	m.checkPressure()
 	return pfn, nil
+}
+
+// refill grabs a batch of order-0 frames from the buddy, keeping all but
+// one in the core's cache.
+func (m *PhysMem) refill(core int) (arch.PFN, bool) {
+	var batch [pcpBatch]arch.PFN
+	n := m.buddy.allocBatch(batch[:])
+	if n == 0 {
+		return 0, false
+	}
+	m.pcp[core].fill(batch[:n-1])
+	return batch[n-1], true
 }
 
 // AllocFrameBatch allocates up to len(out) order-0 frames of the given
 // kind in one shot, draining the core's cache and the buddy under one
 // lock acquisition each instead of one per frame — the bulk-populate
 // path. Returns the number of frames obtained; fewer than requested
-// (possibly zero) means physical memory is exhausted. Each frame starts
-// with Ref == 1, exactly as from AllocFrame.
+// (possibly zero) means physical memory is exhausted even after direct
+// reclaim. Each frame starts with Ref == 1, exactly as from AllocFrame.
 func (m *PhysMem) AllocFrameBatch(core int, kind Kind, out []arch.PFN) int {
+	if fault.MemAllocBatch.Fire() {
+		return 0
+	}
 	n := m.pcp[core].popN(out)
 	if n < len(out) {
 		n += m.buddy.allocBatch(out[n:])
 	}
+	if n < len(out) {
+		m.allocSlow(core, func() bool {
+			n += m.buddy.allocBatch(out[n:])
+			return n == len(out)
+		})
+	}
 	for _, pfn := range out[:n] {
 		m.initFrame(pfn, kind, 0)
 	}
+	m.checkPressure()
 	return n
 }
 
 // AllocFrames allocates a naturally aligned contiguous block of 2^order
 // frames (order 9 = 2 MiB huge page, order 18 = 1 GiB). Ref starts at 1
-// on the head frame.
+// on the head frame. On exhaustion the slow path drains the per-core
+// order-0 caches back to the buddy — their frames may coalesce into a
+// block of the requested order — and runs direct reclaim before failing.
 func (m *PhysMem) AllocFrames(core int, order int, kind Kind) (arch.PFN, error) {
 	if order == 0 {
 		return m.AllocFrame(core, kind)
 	}
+	if fault.MemAllocHuge.Fire() {
+		return 0, fault.MemAllocHuge.Errorf(ErrOutOfMemory)
+	}
 	pfn, ok := m.buddy.alloc(order)
+	if !ok {
+		ok = m.allocSlow(core, func() bool {
+			pfn, ok = m.buddy.alloc(order)
+			return ok
+		})
+	}
 	if !ok {
 		return 0, ErrOutOfMemory
 	}
 	m.initFrame(pfn, kind, uint8(order))
+	m.checkPressure()
 	return pfn, nil
 }
 
@@ -185,7 +350,12 @@ func (m *PhysMem) initFrame(pfn arch.PFN, kind Kind, order uint8) {
 	d.MapCount.Store(0)
 	d.PT = nil
 	d.RMap = RMapRef{}
-	d.data = nil
+	// Frames enter the allocator through Put (which clears data) or at
+	// init (zero value), so this store almost never runs; the load-guard
+	// keeps the write barrier off the allocation fast path.
+	if d.data.Load() != nil {
+		d.data.Store(nil)
+	}
 	if kind == KindPT {
 		d.words = new([arch.PTEntries]uint64)
 	} else {
@@ -236,7 +406,9 @@ func (m *PhysMem) Put(core int, pfn arch.PFN) {
 	d.PT = nil
 	d.RMap = RMapRef{}
 	d.words = nil
-	d.data = nil
+	if d.data.Load() != nil {
+		d.data.Store(nil) // only touched data frames pay the barrier
+	}
 	for i := arch.PFN(1); i < 1<<order; i++ {
 		m.frames[pfn+i].tail = 0
 	}
@@ -259,13 +431,20 @@ func (m *PhysMem) Words(pfn arch.PFN) *[arch.PTEntries]uint64 {
 }
 
 // Data returns the (lazily allocated) byte payload of a data frame. The
-// caller must hold a reference and, for writes, mapping-level exclusion.
+// caller must hold a reference and, for writes to the payload,
+// mapping-level exclusion. Initialization itself needs no exclusion:
+// concurrent first touches race to install the buffer with a CAS and
+// losers adopt the winner's, so all callers see the same payload.
 func (m *PhysMem) Data(pfn arch.PFN) []byte {
 	d := &m.frames[pfn]
-	if d.data == nil {
-		d.data = make([]byte, arch.PageSize<<d.Order)
+	if p := d.data.Load(); p != nil {
+		return *p
 	}
-	return d.data
+	buf := make([]byte, arch.PageSize<<d.Order)
+	if d.data.CompareAndSwap(nil, &buf) {
+		return buf
+	}
+	return *d.data.Load()
 }
 
 // DataPage returns the 4-KiB slice of the data payload corresponding to

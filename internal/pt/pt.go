@@ -16,6 +16,7 @@ import (
 	"unsafe"
 
 	"cortenmm/internal/arch"
+	"cortenmm/internal/fault"
 	"cortenmm/internal/locks"
 	"cortenmm/internal/mem"
 )
@@ -82,6 +83,9 @@ func NewTree(phys *mem.PhysMem, isa arch.ISA, cores int, withRW bool) (*Tree, er
 // AllocPTPage allocates a PT page of the given level with a fresh
 // PageState installed in its descriptor.
 func (t *Tree) AllocPTPage(core, level int) (arch.PFN, error) {
+	if fault.PTAllocPage.Fire() {
+		return 0, fault.PTAllocPage.Errorf(mem.ErrOutOfMemory)
+	}
 	pfn, err := t.Phys.AllocFrame(core, mem.KindPT)
 	if err != nil {
 		return 0, err

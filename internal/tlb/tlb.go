@@ -19,12 +19,27 @@ package tlb
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"cortenmm/internal/arch"
+	"cortenmm/internal/fault"
 	"cortenmm/internal/pt"
 )
+
+// maybeDelay sits between an initiator's local invalidation and the
+// remote fan-out. When the tlb.shootdown-delay fault site is armed it
+// yields the delivering goroutine, widening the window in which remote
+// cores still hold the stale translation — stress for the staleness
+// tolerance argued in §4.5.
+func maybeDelay() {
+	if fault.TLBShootdownDelay.Fire() {
+		for i := 0; i < 4; i++ {
+			runtime.Gosched()
+		}
+	}
+}
 
 // Mode selects the shootdown protocol.
 type Mode uint8
@@ -483,6 +498,7 @@ func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
 		c.clearSlot(asid, va)
 		c.clearHugeSpans(asid, va, va+arch.PageSize)
 	}
+	maybeDelay()
 	switch m.mode {
 	case ModeSync:
 		for j := range m.cores {
@@ -535,6 +551,7 @@ func (m *Machine) ShootdownRanges(initiator int, asid ASID, ranges []Range) {
 	for _, r := range ranges {
 		c.invalidateLocal(Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi})
 	}
+	maybeDelay()
 	switch m.mode {
 	case ModeSync:
 		m.fanRangesNow(c, initiator, asid, ranges)
@@ -582,6 +599,7 @@ func (m *Machine) ShootdownRangesSync(initiator int, asid ASID, ranges []Range) 
 	for _, r := range ranges {
 		c.invalidateLocal(Invalidation{ASID: asid, Lo: r.Lo, Hi: r.Hi})
 	}
+	maybeDelay()
 	m.fanRangesNow(c, initiator, asid, ranges)
 }
 
@@ -612,6 +630,7 @@ func (m *Machine) ShootdownAll(initiator int, asid ASID) {
 	c := &m.cores[initiator]
 	c.stats.shootdowns.Add(1)
 	c.invalidateLocal(Invalidation{ASID: asid, All: true})
+	maybeDelay()
 	switch m.mode {
 	case ModeSync:
 		m.fanAllNow(c, initiator, asid)
@@ -651,6 +670,7 @@ func (m *Machine) ShootdownSync(initiator int, asid ASID, vas []arch.Vaddr) {
 		c.clearSlot(asid, va)
 		c.clearHugeSpans(asid, va, va+arch.PageSize)
 	}
+	maybeDelay()
 	for j := range m.cores {
 		if j == initiator {
 			continue
@@ -677,6 +697,7 @@ func (m *Machine) ShootdownAllSync(initiator int, asid ASID) {
 	c := &m.cores[initiator]
 	c.stats.shootdowns.Add(1)
 	c.invalidateLocal(Invalidation{ASID: asid, All: true})
+	maybeDelay()
 	m.fanAllNow(c, initiator, asid)
 }
 
