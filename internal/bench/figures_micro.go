@@ -68,11 +68,12 @@ func runMicroCell(sys System, isa arch.ISA, op workload.MicroOp, cont workload.C
 func printTLBLine(o Options, fig string, cell MicroCell) {
 	st := cell.TLB
 	fmt.Fprintf(o.W,
-		"%s-tlb op=%-10s contention=%-4s threads=%-3d sys=%s hitrate=%.3f lookups=%d shootdowns=%d ipis=%d filtered=%d deferred=%d applied=%d genbumps=%d evictions=%d staledrops=%d hugehits=%d hugeevicts=%d\n",
+		"%s-tlb op=%-10s contention=%-4s threads=%-3d sys=%s hitrate=%.3f lookups=%d shootdowns=%d ipis=%d clusteripis=%d filtered=%d deferred=%d applied=%d genbumps=%d evictions=%d staledrops=%d hugehits=%d hugeevicts=%d preclimit=%d/%.0f/%d\n",
 		fig, cell.Op, cell.Contention, cell.Threads, cell.System,
-		st.HitRate(), st.Lookups, st.Shootdowns, st.IPIs, st.Filtered,
-		st.Deferred, st.Applied, st.GenBumps, st.Evictions, st.StaleDrops,
-		st.HugeHits, st.HugeEvicts)
+		st.HitRate(), st.Lookups, st.Shootdowns, st.IPIs, st.ClusterIPIs,
+		st.Filtered, st.Deferred, st.Applied, st.GenBumps, st.Evictions,
+		st.StaleDrops, st.HugeHits, st.HugeEvicts,
+		st.PrecLimitMin, st.PrecLimitAvg, st.PrecLimitMax)
 }
 
 // Fig1 regenerates the teaser: multicore throughput of (a) mmap+access

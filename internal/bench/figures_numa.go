@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/core"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/tlb"
+)
+
+// NumaCell is one row of the NUMA figure: an mmap-populate-touch-munmap
+// loop on a machine with a given node count, under a given placement
+// policy, reporting allocation locality and shootdown fan-out.
+type NumaCell struct {
+	Nodes       int
+	Policy      string
+	Threads     int
+	PagesPerSec float64
+	// LocalFrac is the fraction of frames served from the requesting
+	// core's home zone; Spill is the absolute cross-node frame count.
+	LocalFrac float64
+	Spill     uint64
+	// ClusterIPIs counts node-granular shootdown broadcasts; IPIs the
+	// per-core deliveries behind them.
+	ClusterIPIs uint64
+	IPIs        uint64
+	Shootdowns  uint64
+	NodeAlloc   []mem.NodeAllocStats
+	NodeShoot   []tlb.NodeShootdownStats
+}
+
+// numaPolicies are the placement policies of the grid. local is
+// first-touch (the allocator default); interleave round-robins frames
+// over the zones like Linux's MPOL_INTERLEAVE; remote forces every
+// allocation onto the next node over — the worst case that bounds what
+// locality is worth.
+var numaPolicies = []string{"local", "interleave", "remote"}
+
+// FigNuma sweeps machines of 1, 2 and 4 NUMA nodes under each placement
+// policy. The local-first rows demonstrate node-local allocation (the
+// pcp caches and zonelists keep locality near 1.0); the interleave and
+// remote rows quantify the spill the policy hook can force. Every cell
+// ends with a full physical-memory audit — zone counter skew fails the
+// benchmark, not just a test.
+func FigNuma(o Options) ([]NumaCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# NUMA: allocation locality and node-batched shootdown fan-out (corten-adv)")
+	var out []NumaCell
+	for _, nodes := range []int{1, 2, 4} {
+		for _, policy := range numaPolicies {
+			cell, err := numaPoint(o, nodes, policy)
+			if err != nil {
+				return nil, fmt.Errorf("numa nodes=%d policy=%s: %w", nodes, policy, err)
+			}
+			out = append(out, cell)
+			fmt.Fprintf(o.W,
+				"fig22-numa nodes=%d policy=%-10s threads=%-3d pages/s=%-10.0f local=%.3f spill=%-8d shootdowns=%-6d ipis=%-6d clusteripis=%d\n",
+				cell.Nodes, cell.Policy, cell.Threads, cell.PagesPerSec,
+				cell.LocalFrac, cell.Spill, cell.Shootdowns, cell.IPIs, cell.ClusterIPIs)
+			for _, ns := range cell.NodeAlloc {
+				sh := cell.NodeShoot[ns.Node]
+				fmt.Fprintf(o.W,
+					"fig22-numa-node nodes=%d policy=%-10s node=%d local=%-8d remote=%-8d free=%-8d deliveries=%-6d filtered=%-6d clusteripis=%d\n",
+					cell.Nodes, cell.Policy, ns.Node, ns.Local, ns.Remote, ns.Free,
+					sh.Deliveries, sh.Filtered, sh.ClusterIPIs)
+			}
+		}
+	}
+	return out, nil
+}
+
+// numaPoint runs one grid cell: 8 cores spread over the node count, an
+// mmap(populate) + touch + munmap loop per core.
+func numaPoint(o Options, nodes int, policy string) (NumaCell, error) {
+	const (
+		cores      = 8
+		chunkPages = 32
+		frames     = 1 << 15
+	)
+	iters := o.iters(60)
+	best := NumaCell{Nodes: nodes, Policy: policy, Threads: cores}
+	for r := 0; r < o.Repeat; r++ {
+		// TickEvery 16: the loop issues few OpTicks per iteration, and
+		// the LATR sweeps (the node-batched fan-out under study) only
+		// run at ticks.
+		m := cpusim.New(cpusim.Config{Cores: cores, NUMANodes: nodes, Frames: frames, TLBMode: tlb.ModeLATR, TickEvery: 16})
+		a, err := core.New(core.Options{Machine: m, Protocol: core.ProtocolAdv, PerCoreVA: true})
+		if err != nil {
+			return best, err
+		}
+		switch policy {
+		case "interleave":
+			var ctr atomic.Uint64
+			n := m.Phys.Nodes()
+			m.Phys.SetAllocPolicy(func(core int) int { return int(ctr.Add(1)) % n })
+		case "remote":
+			n := m.Phys.Nodes()
+			m.Phys.SetAllocPolicy(func(core int) int { return (m.NodeOf(core) + 1) % n })
+		}
+		var runErr atomic.Value
+		start := time.Now()
+		m.Run(cores, func(c int) {
+			for i := 0; i < iters; i++ {
+				va, err := a.Mmap(c, chunkPages*arch.PageSize, arch.PermRW, mm.FlagPopulate)
+				if err != nil {
+					runErr.Store(err)
+					return
+				}
+				for p := 0; p < chunkPages; p++ {
+					if _, err := a.Load(c, va+arch.Vaddr(p)*arch.PageSize); err != nil {
+						runErr.Store(err)
+						return
+					}
+				}
+				if err := a.Munmap(c, va, chunkPages*arch.PageSize); err != nil {
+					runErr.Store(err)
+					return
+				}
+			}
+		})
+		elapsed := time.Since(start)
+		if err, ok := runErr.Load().(error); ok {
+			a.Destroy(0)
+			return best, err
+		}
+		a.Destroy(0)
+		m.Quiesce()
+		// Stats after Quiesce so the deferred (LATR) invalidations the
+		// run queued are fanned out and counted.
+		allocStats := m.Phys.NodeStats()
+		shootStats := m.TLB.NodeStats()
+		tlbStats := m.TLBStats()
+		if rep := m.Phys.Audit(); !rep.Ok() {
+			return best, fmt.Errorf("post-run audit failed: %s", rep.String())
+		}
+		var local, remote uint64
+		for _, ns := range allocStats {
+			local += ns.Local
+			remote += ns.Remote
+		}
+		pps := float64(cores*iters*chunkPages) / elapsed.Seconds()
+		if pps > best.PagesPerSec {
+			best.PagesPerSec = pps
+			if local+remote > 0 {
+				best.LocalFrac = float64(local) / float64(local+remote)
+			}
+			best.Spill = remote
+			best.NodeAlloc = allocStats
+			best.NodeShoot = shootStats
+			best.Shootdowns = tlbStats.Shootdowns
+			best.IPIs = tlbStats.IPIs
+			best.ClusterIPIs = tlbStats.ClusterIPIs
+		}
+	}
+	return best, nil
+}

@@ -36,34 +36,44 @@ type ReclaimConfig struct {
 // ReclaimManager wires the core layer's reclaim machinery into a
 // machine's physical allocator: it is the mem.ReclaimHook (direct
 // reclaim on the allocating goroutine), the kswapd analogue (background
-// sweeps driven by simulated timer ticks once free frames dip below the
-// low watermark), and the OOM killer of last resort. Reclaim is a clock
-// sweep: a hand rotates over the registered address spaces, and within
-// each space over its tracked VA ranges, swapping cold private
-// anonymous pages out through the space's swap device (ReclaimRange).
+// sweeps driven by simulated timer ticks once a zone's free frames dip
+// below its low watermark), and the OOM killer of last resort. Reclaim
+// is a clock sweep: a per-node hand rotates over the registered address
+// spaces, and within each space over its tracked VA ranges, swapping
+// cold private anonymous pages out through the space's swap device
+// (ReclaimRange). On a NUMA machine the manager is node-aware: each
+// node runs its own tick-driven kswapd against its own zone's
+// watermarks, and direct reclaim first sweeps only frames on the
+// starved placement node, stealing from other nodes' frames only when
+// the node-filtered pass comes up short.
 type ReclaimManager struct {
 	m   *cpusim.Machine
 	cfg ReclaimConfig
 
-	mu     sync.Mutex // guards spaces and the space clock hand
+	mu     sync.Mutex // guards spaces and the per-node clock hands
 	spaces []*AddrSpace
-	clock  int
+	clock  []int // one hand per node (index -1 callers use their home hand)
 
 	// direct serializes direct reclaimers. The allocation slow path may
 	// run while the allocating goroutine holds PT-page locks; keeping at
 	// most one such reclaimer (TryLock, losers give up) means no cycle
 	// of lock-holding reclaimers can form.
 	direct sync.Mutex
-	// sweeping guards against sweep reentry: ReclaimRange drives
-	// OpTick, whose tick hook must not start a nested sweep.
-	sweeping atomic.Bool
-	// kicked is set by the allocator below the low watermark and
-	// consumed by the next timer tick.
-	kicked atomic.Bool
+	// sweeping guards against sweep reentry, one flag per node:
+	// ReclaimRange drives OpTick, whose tick hook must not start a
+	// nested sweep. Reentry is always same-goroutine (hence same core,
+	// hence same node), so a per-node flag suffices — and it doubles as
+	// the one-kswapd-per-node limit, letting different nodes' sweeps
+	// run concurrently like Linux's per-node kswapd threads.
+	sweeping []atomic.Bool
+	// kicked[n] is set by the allocator when node n's zone drops below
+	// its low watermark and consumed by node n's next timer tick.
+	kicked []atomic.Bool
 
 	directRounds atomic.Uint64
 	bgSweeps     atomic.Uint64
 	reclaimed    atomic.Uint64
+	stolen       atomic.Uint64
 	oomKills     atomic.Uint64
 }
 
@@ -72,7 +82,10 @@ type ReclaimStats struct {
 	DirectRounds uint64 // direct-reclaim invocations from the slow path
 	BgSweeps     uint64 // background (tick-driven) sweeps
 	Reclaimed    uint64 // pages swapped out by the manager
-	OOMKills     uint64 // address spaces torn down
+	// Stolen counts pages reclaimed in cross-node passes — direct
+	// reclaim that had to look beyond the starved node's own frames.
+	Stolen   uint64
+	OOMKills uint64 // address spaces torn down
 }
 
 // Stats snapshots the manager's counters.
@@ -81,6 +94,7 @@ func (rm *ReclaimManager) Stats() ReclaimStats {
 		DirectRounds: rm.directRounds.Load(),
 		BgSweeps:     rm.bgSweeps.Load(),
 		Reclaimed:    rm.reclaimed.Load(),
+		Stolen:       rm.stolen.Load(),
 		OOMKills:     rm.oomKills.Load(),
 	}
 }
@@ -97,10 +111,17 @@ func AttachReclaim(m *cpusim.Machine, cfg ReclaimConfig) *ReclaimManager {
 	if cfg.MinWater == 0 {
 		cfg.MinWater = max(total/64, 1)
 	}
-	rm := &ReclaimManager{m: m, cfg: cfg}
+	nodes := m.Phys.Nodes()
+	rm := &ReclaimManager{
+		m:        m,
+		cfg:      cfg,
+		clock:    make([]int, nodes),
+		sweeping: make([]atomic.Bool, nodes),
+		kicked:   make([]atomic.Bool, nodes),
+	}
 	m.Phys.SetWatermarks(cfg.LowWater, cfg.MinWater)
 	m.Phys.SetReclaimHook(rm.hook)
-	m.Phys.SetPressureKick(func() { rm.kicked.Store(true) })
+	m.Phys.SetPressureKick(func(node int) { rm.kicked[node].Store(true) })
 	m.SetTickHook(rm.tick)
 	return rm
 }
@@ -128,9 +149,11 @@ func (rm *ReclaimManager) Unregister(a *AddrSpace) {
 	a.reclaim = nil
 }
 
-// snapshot returns the registered spaces rotated so the clock hand's
-// current position comes first, and advances the hand.
-func (rm *ReclaimManager) snapshot() []*AddrSpace {
+// snapshot returns the registered spaces rotated so node's clock hand's
+// current position comes first, and advances that hand. Each node keeps
+// its own hand so concurrent per-node sweeps don't chase each other
+// onto the same space.
+func (rm *ReclaimManager) snapshot(node int) []*AddrSpace {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	n := len(rm.spaces)
@@ -138,11 +161,11 @@ func (rm *ReclaimManager) snapshot() []*AddrSpace {
 		return nil
 	}
 	out := make([]*AddrSpace, 0, n)
-	start := rm.clock % n
+	start := rm.clock[node] % n
 	for i := 0; i < n; i++ {
 		out = append(out, rm.spaces[(start+i)%n])
 	}
-	rm.clock = (start + 1) % n
+	rm.clock[node] = (start + 1) % n
 	return out
 }
 
@@ -154,13 +177,15 @@ func (rm *ReclaimManager) snapshot() []*AddrSpace {
 // driving the calling core's deferred machinery — a TLB tick and an
 // RCU poll, the "backoff via simulated ticks" — so frames freed by the
 // sweep actually reach the allocator before the caller retries.
-func (rm *ReclaimManager) hook(core, target int) int {
+// node is the allocation's starved placement node: the node-filtered
+// passes free frames where the allocator actually needs them.
+func (rm *ReclaimManager) hook(core, node, target int) int {
 	if !rm.direct.TryLock() {
 		return 0
 	}
 	defer rm.direct.Unlock()
 	rm.directRounds.Add(1)
-	n := rm.doubleSweep(core, target)
+	n := rm.doubleSweep(core, node, target)
 	rm.m.TLB.Tick(core)
 	rm.m.RCU.Poll()
 	if n == 0 && rm.cfg.OOMKill {
@@ -169,14 +194,23 @@ func (rm *ReclaimManager) hook(core, target int) int {
 	return n
 }
 
-// doubleSweep runs up to two clock passes: the first pass over a
-// recently touched range only clears accessed bits (the second-chance
-// policy in ReclaimRange), so a zero-yield first pass is immediately
-// followed by one more before reporting no progress.
-func (rm *ReclaimManager) doubleSweep(core, target int) int {
-	n := rm.sweep(core, target)
+// doubleSweep runs up to two clock passes filtered to the starved
+// node's frames: the first pass over a recently touched range only
+// clears accessed bits (the second-chance policy in ReclaimRange), so a
+// zero-yield first pass is immediately followed by one more. If the
+// node-filtered passes come up short on a multi-node machine, a final
+// unfiltered pass steals from the other nodes — cross-node frames are
+// better than an allocation failure, matching zonelist fallback on the
+// alloc side.
+func (rm *ReclaimManager) doubleSweep(core, node, target int) int {
+	n := rm.sweep(core, node, target)
 	if n == 0 {
-		n = rm.sweep(core, target)
+		n = rm.sweep(core, node, target)
+	}
+	if n < target && rm.m.Phys.Nodes() > 1 {
+		stolen := rm.sweep(core, -1, target-n)
+		rm.stolen.Add(uint64(stolen))
+		n += stolen
 	}
 	return n
 }
@@ -191,7 +225,7 @@ func (rm *ReclaimManager) DirectReclaim(core, target int) int {
 	rm.direct.Lock()
 	defer rm.direct.Unlock()
 	rm.directRounds.Add(1)
-	n := rm.doubleSweep(core, target)
+	n := rm.doubleSweep(core, rm.m.NodeOf(core), target)
 	rm.m.TLB.Tick(core)
 	rm.m.RCU.Poll()
 	if n == 0 && rm.cfg.OOMKill {
@@ -200,52 +234,62 @@ func (rm *ReclaimManager) DirectReclaim(core, target int) int {
 	return n
 }
 
-// tick is the machine's timer-tick hook: the kswapd analogue. When an
-// allocation has flagged pressure, the ticking core — which holds no
-// PT-page locks at tick time — sweeps until free frames recover to
-// twice the low watermark. No dedicated goroutine exists because core
-// IDs are an identity here (BRAVO reader slots, MCS queues): a
-// background thread sharing a core ID with a running workload would
-// corrupt per-core lock state.
+// tick is the machine's timer-tick hook: the per-node kswapd analogue.
+// Each core services only its own node's kick — when an allocation has
+// flagged that zone's pressure, the ticking core (which holds no
+// PT-page locks at tick time) sweeps the node's frames until the zone
+// recovers to twice its low watermark. No dedicated goroutine exists
+// because core IDs are an identity here (BRAVO reader slots, MCS
+// queues): a background thread sharing a core ID with a running
+// workload would corrupt per-core lock state.
 func (rm *ReclaimManager) tick(core int) {
-	if !rm.kicked.Load() {
+	node := rm.m.NodeOf(core)
+	if !rm.kicked[node].Load() {
 		return
 	}
-	free := rm.m.Phys.FreeFrames()
-	low, _ := rm.m.Phys.Watermarks()
+	free := rm.m.Phys.NodeFreeFrames(node)
+	low, _ := rm.m.Phys.NodeWatermarks(node)
 	if free >= 2*low {
-		rm.kicked.Store(false)
+		rm.kicked[node].Store(false)
 		return
 	}
 	rm.bgSweeps.Add(1)
-	rm.sweep(core, int(2*low-free))
+	rm.sweep(core, node, int(2*low-free))
 	rm.m.RCU.Poll()
-	// The kick stays set until free frames recover to the high mark
+	// The kick stays set until the zone recovers to its high mark
 	// (2x low), so sweeping continues tick after tick under sustained
 	// pressure — a first pass may only clear accessed bits.
-	if rm.m.Phys.FreeFrames() >= 2*low {
-		rm.kicked.Store(false)
+	if rm.m.Phys.NodeFreeFrames(node) >= 2*low {
+		rm.kicked[node].Store(false)
 	}
 }
 
-// sweep reclaims up to target pages, rotating the clock hand over the
-// registered spaces. Guarded against reentry (a sweep's own OpTicks
-// re-enter the tick hook). Spaces without a swap device, already
-// killed, or with open transactions on the calling core are skipped.
-func (rm *ReclaimManager) sweep(core, target int) int {
-	if !rm.sweeping.CompareAndSwap(false, true) {
+// sweep reclaims up to target pages whose frames live on node (-1 for
+// any node), rotating the node's clock hand over the registered spaces.
+// Guarded against reentry (a sweep's own OpTicks re-enter the tick
+// hook) by the calling core's node flag — reentry is same-goroutine, so
+// the flag is always the one already held. Spaces without a swap
+// device, already killed, or with open transactions on the calling core
+// are skipped.
+func (rm *ReclaimManager) sweep(core, node, target int) int {
+	g := rm.m.NodeOf(core)
+	if !rm.sweeping[g].CompareAndSwap(false, true) {
 		return 0
 	}
-	defer rm.sweeping.Store(false)
+	defer rm.sweeping[g].Store(false)
+	hand := node
+	if hand < 0 {
+		hand = g
+	}
 	total := 0
-	for _, a := range rm.snapshot() {
+	for _, a := range rm.snapshot(hand) {
 		if total >= target {
 			break
 		}
 		if a.swapDev == nil || a.oomKilled.Load() || a.txDepth[core].n.Load() > 0 {
 			continue
 		}
-		total += a.reclaimSome(core, target-total)
+		total += a.reclaimSome(core, node, target-total)
 	}
 	if total > 0 {
 		rm.reclaimed.Add(uint64(total))
@@ -261,7 +305,7 @@ func (rm *ReclaimManager) sweep(core, target int) int {
 func (rm *ReclaimManager) oomKill(core int) int {
 	var victim *AddrSpace
 	var worst uint64
-	for _, a := range rm.snapshot() {
+	for _, a := range rm.snapshot(rm.m.NodeOf(core)) {
 		if a.oomKilled.Load() || a.txDepth[core].n.Load() > 0 {
 			continue
 		}
@@ -305,12 +349,13 @@ func (a *AddrSpace) virtualSize() uint64 {
 	return n
 }
 
-// reclaimSome swaps out up to target cold pages from this space,
-// resuming the per-space clock hand where the previous sweep left off.
-// Errors (e.g. an injected swap-write failure) end the sweep early with
-// whatever progress was made; ReclaimRange's unwind keeps the page
-// resident, so nothing is lost.
-func (a *AddrSpace) reclaimSome(core, target int) int {
+// reclaimSome swaps out up to target cold pages from this space whose
+// frames live on node (-1 for any), resuming the per-space clock hand
+// where the previous sweep left off. Errors (e.g. an injected
+// swap-write failure) end the sweep early with whatever progress was
+// made; ReclaimRange's unwind keeps the page resident, so nothing is
+// lost.
+func (a *AddrSpace) reclaimSome(core, node, target int) int {
 	ranges := a.trackedRanges()
 	if len(ranges) == 0 {
 		return 0
@@ -322,7 +367,7 @@ func (a *AddrSpace) reclaimSome(core, target int) int {
 	for i := 0; i < len(ranges) && total < target; i++ {
 		r := ranges[(start+i)%len(ranges)]
 		visited++
-		n, err := a.ReclaimRange(core, r.va, r.sz, target-total)
+		n, err := a.reclaimRangeNode(core, r.va, r.sz, target-total, node)
 		total += n
 		if err != nil {
 			break

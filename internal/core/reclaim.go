@@ -19,6 +19,16 @@ import (
 // Shared, COW and file-backed pages are skipped (reclaim for those goes
 // through the file reverse map instead; see mem.File.UnmapAll).
 func (a *AddrSpace) ReclaimRange(core int, va arch.Vaddr, size uint64, target int) (int, error) {
+	return a.reclaimRangeNode(core, va, size, target, -1)
+}
+
+// reclaimRangeNode is ReclaimRange restricted to pages whose frames
+// live on one NUMA node (node < 0 disables the filter) — the building
+// block of node-targeted reclaim: freeing frames on the wrong node
+// would cost swap I/O without helping the starved zone. Accessed-bit
+// clearing is not filtered; the second-chance policy stays global so a
+// later cross-node pass still finds honestly cold pages.
+func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, target, node int) (int, error) {
 	if a.swapDev == nil {
 		return 0, fmt.Errorf("%w: no swap device configured", mm.ErrNotSupported)
 	}
@@ -71,6 +81,9 @@ func (a *AddrSpace) ReclaimRange(core int, va arch.Vaddr, size uint64, target in
 			head := a.m.Phys.HeadOf(pfn)
 			d := a.m.Phys.Desc(head)
 			if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 {
+				continue
+			}
+			if node >= 0 && a.m.Phys.FrameNode(pfn) != node {
 				continue
 			}
 			// Cold page: swap it out. A failed device write keeps the

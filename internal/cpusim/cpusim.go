@@ -20,7 +20,9 @@ import (
 type Config struct {
 	// Cores is the number of simulated CPUs.
 	Cores int
-	// NUMANodes partitions cores round-robin into nodes (NrOS replicas).
+	// NUMANodes partitions cores into contiguous cluster blocks of
+	// nodes (NrOS replicas, physical-memory zones, cluster-IPI
+	// delivery groups). Clamped to Cores.
 	NUMANodes int
 	// Frames is the simulated physical memory size in 4-KiB frames.
 	Frames int
@@ -38,6 +40,12 @@ type Machine struct {
 	Phys      *mem.PhysMem
 	TLB       *tlb.Machine
 	RCU       *rcu.Domain
+
+	// nodeOf maps each core to its NUMA node (contiguous cluster
+	// blocks); nodeCores is the inverse — each node's core list in
+	// ascending ID order, precomputed for cluster-batched fan-out.
+	nodeOf    []int
+	nodeCores [][]int
 
 	tickEvery int
 	ticks     []tickState
@@ -64,25 +72,46 @@ func New(cfg Config) *Machine {
 	if cfg.NUMANodes <= 0 {
 		cfg.NUMANodes = 1
 	}
+	if cfg.NUMANodes > cfg.Cores {
+		cfg.NUMANodes = cfg.Cores
+	}
 	if cfg.Frames <= 0 {
 		cfg.Frames = 1 << 16
 	}
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = 64
 	}
+	// Contiguous cluster-block core→node assignment: cores [k·per,
+	// (k+1)·per) live on node k, like socket-ordered core enumeration
+	// on real multi-socket machines (and unlike the old round-robin,
+	// which made "neighbouring" cores alternate sockets).
+	nodeOf := make([]int, cfg.Cores)
+	nodeCores := make([][]int, cfg.NUMANodes)
+	per := (cfg.Cores + cfg.NUMANodes - 1) / cfg.NUMANodes
+	for c := 0; c < cfg.Cores; c++ {
+		n := c / per
+		nodeOf[c] = n
+		nodeCores[n] = append(nodeCores[n], c)
+	}
 	return &Machine{
 		Cores:     cfg.Cores,
 		NUMANodes: cfg.NUMANodes,
-		Phys:      mem.NewPhysMem(cfg.Frames, cfg.Cores),
-		TLB:       tlb.NewMachine(cfg.Cores, cfg.TLBMode),
+		Phys:      mem.NewPhysMemNUMA(cfg.Frames, cfg.Cores, cfg.NUMANodes, nodeOf),
+		TLB:       tlb.NewMachineNUMA(cfg.Cores, cfg.TLBMode, nodeOf),
 		RCU:       rcu.NewDomain(cfg.Cores),
+		nodeOf:    nodeOf,
+		nodeCores: nodeCores,
 		tickEvery: cfg.TickEvery,
 		ticks:     make([]tickState, cfg.Cores),
 	}
 }
 
 // NodeOf returns the NUMA node of a core.
-func (m *Machine) NodeOf(core int) int { return core % m.NUMANodes }
+func (m *Machine) NodeOf(core int) int { return m.nodeOf[core] }
+
+// NodeCores returns the cores of one NUMA node in ascending ID order.
+// The returned slice is shared; callers must not mutate it.
+func (m *Machine) NodeCores(node int) []int { return m.nodeCores[node] }
 
 // AllocASID hands out a fresh address-space identifier.
 func (m *Machine) AllocASID() tlb.ASID { return tlb.ASID(m.nextASID.Add(1)) }

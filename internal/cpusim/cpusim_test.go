@@ -21,8 +21,34 @@ func TestDefaults(t *testing.T) {
 
 func TestNodeOf(t *testing.T) {
 	m := New(Config{Cores: 8, NUMANodes: 2})
-	if m.NodeOf(0) != 0 || m.NodeOf(1) != 1 || m.NodeOf(2) != 0 {
-		t.Error("round-robin NUMA assignment broken")
+	// Cluster-block assignment: cores 0..3 on node 0, 4..7 on node 1.
+	for c := 0; c < 8; c++ {
+		want := c / 4
+		if got := m.NodeOf(c); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", c, got, want)
+		}
+	}
+	for n := 0; n < 2; n++ {
+		cores := m.NodeCores(n)
+		if len(cores) != 4 {
+			t.Fatalf("node %d has %d cores, want 4", n, len(cores))
+		}
+		for i, c := range cores {
+			if c != n*4+i {
+				t.Errorf("NodeCores(%d)[%d] = %d, want %d", n, i, c, n*4+i)
+			}
+		}
+	}
+	// The physical allocator sees the same topology.
+	if m.Phys.Nodes() != 2 {
+		t.Errorf("Phys.Nodes() = %d, want 2", m.Phys.Nodes())
+	}
+}
+
+func TestNodeClamp(t *testing.T) {
+	m := New(Config{Cores: 2, NUMANodes: 8})
+	if m.NUMANodes != 2 {
+		t.Errorf("NUMANodes = %d, want clamped to 2", m.NUMANodes)
 	}
 }
 

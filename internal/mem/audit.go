@@ -8,8 +8,9 @@ import (
 )
 
 // AuditReport is the result of a PhysMem.Audit pass: a frame-table walk
-// cross-checked against the kind counters and the allocator's free
-// lists. An empty Problems slice means every invariant held.
+// cross-checked against the kind counters, the per-node zone counters
+// and the allocator's free lists. An empty Problems slice means every
+// invariant held.
 type AuditReport struct {
 	// Problems lists every invariant violation found, one per line.
 	Problems []string
@@ -21,6 +22,11 @@ type AuditReport struct {
 	BuddyFree uint64
 	// PCPFree is the total frames sitting in per-core caches.
 	PCPFree uint64
+	// NodeFreeByDesc is FreeByDesc broken down by owning zone.
+	NodeFreeByDesc []uint64
+	// NodeFree is each zone's own free count (zone buddy + the pcp
+	// caches of the zone's cores).
+	NodeFree []uint64
 }
 
 // Ok reports whether the audit found no violations.
@@ -43,24 +49,33 @@ func (r *AuditReport) addf(format string, args ...any) {
 }
 
 // Audit walks the frame table and cross-checks it against the kind
-// counters and the buddy + pcp free lists. It verifies, per frame:
-// Ref == 0 implies KindFree, MapCount == 0 and no stale tail marker;
-// Ref > 0 implies a non-free kind and MapCount within [0, Ref] for
-// mapped kinds; tail markers point at a live head whose order covers
-// the member. Globally: descriptor-derived kind totals equal the kinds
+// counters, the per-node zone layout and the buddy + pcp free lists.
+// It verifies, per frame: Ref == 0 implies KindFree, MapCount == 0 and
+// no stale tail marker; Ref > 0 implies a non-free kind and MapCount
+// within [0, Ref] for mapped kinds; tail markers point at a live head
+// whose order covers the member; the descriptor's node tag matches the
+// owning zone. Globally: descriptor-derived kind totals equal the kinds
 // counters, descriptor-derived free frames equal buddy + pcp free
-// counts (a mismatch is a leaked or double-freed frame), and every
-// frame on a free list has a free descriptor.
+// counts — per zone and in total (a mismatch is a leaked, double-freed
+// or zone-hopping frame) — every frame on a zone's free list has a free
+// descriptor inside that zone, and every pcp cache holds only its
+// core's home-node frames.
 //
 // Audit takes no global lock: callers must quiesce the system first
 // (no concurrent allocation/free, RCU drained) or the counts will be
 // torn. Tests run it after cpusim.Machine.Quiesce.
 func (m *PhysMem) Audit() AuditReport {
 	var r AuditReport
+	r.NodeFreeByDesc = make([]uint64, len(m.zones))
+	r.NodeFree = make([]uint64, len(m.zones))
 	// Pass 1: the frame table. Frame 0 is the reserved NULL frame and
 	// lives outside both the table invariants and the free lists.
 	for pfn := 1; pfn < len(m.frames); pfn++ {
 		d := &m.frames[pfn]
+		if int(d.Node) != m.zoneOf(arch.PFN(pfn)) {
+			r.addf("frame %#x: node tag %d but owning zone is %d",
+				pfn, d.Node, m.zoneOf(arch.PFN(pfn)))
+		}
 		if t := d.tail; t != 0 {
 			head := int(t - 1)
 			if head < 0 || head >= pfn {
@@ -89,6 +104,7 @@ func (m *PhysMem) Audit() AuditReport {
 				r.addf("frame %#x: free with MapCount %d", pfn, mc)
 			}
 			r.FreeByDesc++
+			r.NodeFreeByDesc[m.zoneOf(arch.PFN(pfn))]++
 		default:
 			if d.Kind == KindFree {
 				r.addf("frame %#x: Ref==%d but marked free", pfn, ref)
@@ -110,29 +126,53 @@ func (m *PhysMem) Audit() AuditReport {
 			r.addf("kind %s: counter says %d frames, table says %d", k, got, want)
 		}
 	}
-	// Pass 3: allocator free lists vs the table.
-	r.BuddyFree = m.buddy.freeCount()
+	// Pass 3: allocator free lists vs the table, per zone and globally.
+	for zi := range m.zones {
+		z := &m.zones[zi]
+		zfree := z.buddy.freeCount()
+		r.BuddyFree += zfree
+		r.NodeFree[zi] = zfree
+		z.buddy.forEachFree(func(pfn arch.PFN, order int) {
+			if m.zoneOf(pfn) != zi || m.zoneOf(pfn+arch.PFN(1<<order)-1) != zi {
+				r.addf("zone %d free list holds out-of-zone block %#x order %d", zi, pfn, order)
+				return
+			}
+			for i := arch.PFN(0); i < 1<<order; i++ {
+				d := &m.frames[pfn+i]
+				if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail != 0 {
+					r.addf("zone %d free list holds live frame %#x (block %#x order %d)",
+						zi, pfn+i, pfn, order)
+					return
+				}
+			}
+		})
+	}
 	r.PCPFree = m.pcpCached()
 	if r.FreeByDesc != r.BuddyFree+r.PCPFree {
 		r.addf("leak: %d frames free by descriptor, %d in allocator (buddy %d + pcp %d)",
 			r.FreeByDesc, r.BuddyFree+r.PCPFree, r.BuddyFree, r.PCPFree)
 	}
-	m.buddy.forEachFree(func(pfn arch.PFN, order int) {
-		for i := arch.PFN(0); i < 1<<order; i++ {
-			d := &m.frames[pfn+i]
-			if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail != 0 {
-				r.addf("buddy free list holds live frame %#x (block %#x order %d)",
-					pfn+i, pfn, order)
-				return
-			}
-		}
-	})
 	for i := range m.pcp {
+		home := m.coreNode(i)
 		for _, pfn := range m.pcp[i].snapshot() {
 			d := &m.frames[pfn]
 			if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail != 0 {
 				r.addf("pcp cache %d holds live frame %#x", i, pfn)
 			}
+			if z := m.zoneOf(pfn); z != home {
+				r.addf("pcp cache %d (node %d) holds node-%d frame %#x", i, home, z, pfn)
+			} else {
+				r.NodeFree[z]++
+			}
+		}
+	}
+	// Per-zone free totals must match the descriptors: zone sums equal
+	// the global cross-check, so a clean global count with skewed zone
+	// counts means a frame was freed into the wrong zone.
+	for zi := range m.zones {
+		if r.NodeFreeByDesc[zi] != r.NodeFree[zi] {
+			r.addf("zone %d: %d frames free by descriptor, %d in allocator",
+				zi, r.NodeFreeByDesc[zi], r.NodeFree[zi])
 		}
 	}
 	return r

@@ -16,9 +16,13 @@ const noBlock = int32(-1)
 // buddy is a binary-buddy frame allocator, following Linux's design as
 // described in §4.5. Free blocks of each order form doubly linked lists
 // threaded through per-frame link arrays; frees eagerly coalesce buddies.
+// Each NUMA zone owns one buddy over its PFN sub-range: the link arrays
+// are indexed by zone-local frame number and base translates to/from
+// absolute PFNs at the API boundary.
 type buddy struct {
 	mu     sync.Mutex
 	n      int
+	base   int32   // first absolute PFN of this buddy's range
 	order  []uint8 // order of the block headed at this frame (free blocks)
 	isFree []bool  // true when this frame heads a free block
 	next   []int32
@@ -36,8 +40,12 @@ type buddy struct {
 // before releasing mu in any operation that moved frames.
 func (b *buddy) publish() { b.nfree.Store(b.free_) }
 
-func (b *buddy) init(nframes int) {
+// init seeds a buddy over the absolute PFN range [base, base+nframes).
+// reserveFirst skips the range's first frame — zone 0 reserves the NULL
+// frame 0 this way, exactly as the flat allocator did.
+func (b *buddy) init(base, nframes int, reserveFirst bool) {
 	b.n = nframes
+	b.base = int32(base)
 	b.order = make([]uint8, nframes)
 	b.isFree = make([]bool, nframes)
 	b.next = make([]int32, nframes)
@@ -45,9 +53,12 @@ func (b *buddy) init(nframes int) {
 	for i := range b.heads {
 		b.heads[i] = noBlock
 	}
-	// Seed the free lists with maximal aligned blocks, skipping the
-	// reserved NULL frame 0.
-	pfn := 1
+	// Seed the free lists with maximal aligned blocks (local alignment;
+	// zone bases are themselves huge-page aligned where sizes permit).
+	pfn := 0
+	if reserveFirst {
+		pfn = 1
+	}
 	for pfn < nframes {
 		o := 0
 		for o < MaxOrder && pfn&(1<<(o+1)-1) == 0 && pfn+1<<(o+1) <= nframes {
@@ -88,13 +99,14 @@ func (b *buddy) unlink(pfn int32, order int) {
 	b.free_ -= 1 << order
 }
 
-// alloc removes one naturally aligned block of 2^order frames.
+// alloc removes one naturally aligned block of 2^order frames,
+// returning its absolute head PFN.
 func (b *buddy) alloc(order int) (arch.PFN, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	pfn, ok := b.allocLocked(order)
 	b.publish()
-	return pfn, ok
+	return pfn + arch.PFN(b.base), ok
 }
 
 func (b *buddy) allocLocked(order int) (arch.PFN, bool) {
@@ -115,11 +127,12 @@ func (b *buddy) allocLocked(order int) (arch.PFN, bool) {
 	return arch.PFN(pfn), true
 }
 
-// free returns a block, coalescing with its buddy as far as possible.
+// free returns a block (by absolute head PFN), coalescing with its
+// buddy as far as possible.
 func (b *buddy) free(pfn arch.PFN, order int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.freeLocked(int32(pfn), order)
+	b.freeLocked(int32(pfn)-b.base, order)
 	b.publish()
 }
 
@@ -138,9 +151,9 @@ func (b *buddy) freeLocked(pfn int32, order int) {
 	b.pushFree(pfn, order)
 }
 
-// allocBatch fills buf with order-0 frames under a single lock
-// acquisition (the refill path of the per-core caches). Returns the
-// number of frames obtained.
+// allocBatch fills buf with order-0 frames (absolute PFNs) under a
+// single lock acquisition (the refill path of the per-core caches).
+// Returns the number of frames obtained.
 func (b *buddy) allocBatch(buf []arch.PFN) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -150,31 +163,32 @@ func (b *buddy) allocBatch(buf []arch.PFN) int {
 		if !ok {
 			return i
 		}
-		buf[i] = pfn
+		buf[i] = pfn + arch.PFN(b.base)
 	}
 	return len(buf)
 }
 
-// freeBatch returns order-0 frames under a single lock acquisition.
+// freeBatch returns order-0 frames (absolute PFNs) under a single lock
+// acquisition.
 func (b *buddy) freeBatch(pfns []arch.PFN) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, pfn := range pfns {
-		b.freeLocked(int32(pfn), 0)
+		b.freeLocked(int32(pfn)-b.base, 0)
 	}
 	b.publish()
 }
 
 func (b *buddy) freeCount() uint64 { return uint64(b.nfree.Load()) }
 
-// forEachFree visits every free block (head PFN + order) under the
-// buddy lock — the auditor's view of the free lists.
+// forEachFree visits every free block (absolute head PFN + order) under
+// the buddy lock — the auditor's view of the free lists.
 func (b *buddy) forEachFree(fn func(pfn arch.PFN, order int)) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for o := 0; o <= MaxOrder; o++ {
 		for p := b.heads[o]; p != noBlock; p = b.next[p] {
-			fn(arch.PFN(p), o)
+			fn(arch.PFN(p+b.base), o)
 		}
 	}
 }

@@ -65,6 +65,11 @@ type FrameDesc struct {
 	// Order is the buddy order the frame was allocated with (head only).
 	Order uint8
 
+	// Node is the NUMA node owning this frame — a static tag assigned
+	// at boot from the zone layout; Audit cross-checks it against the
+	// owning zone.
+	Node int32
+
 	// PT points to page-table-layer state (lock, level, stale flag,
 	// per-PTE metadata array) when Kind == KindPT. Declared as any to
 	// keep the dependency direction mem <- pt.
@@ -100,10 +105,13 @@ type RMapRef struct {
 
 // ReclaimHook is the direct-reclaim callback the core layer registers:
 // try to free up to target frames on behalf of core, returning how many
-// pages it reclaimed. It runs on the allocating goroutine, which may be
-// inside a page-table transaction — implementations must skip address
-// spaces that goroutine already holds locks in (see core.ReclaimManager).
-type ReclaimHook func(core, target int) int
+// pages it reclaimed. node is the starved placement node — the zone the
+// failing allocation wanted — so implementations can free that node's
+// frames first before stealing cross-node. It runs on the allocating
+// goroutine, which may be inside a page-table transaction —
+// implementations must skip address spaces that goroutine already holds
+// locks in (see core.ReclaimManager).
+type ReclaimHook func(core, node, target int) int
 
 // Allocation slow-path tuning: on buddy exhaustion the allocator drains
 // the per-core caches, then runs up to reclaimRounds direct-reclaim
@@ -113,40 +121,45 @@ const (
 	reclaimTarget = 32 // frames requested from the hook per round
 )
 
-// PhysMem is the simulated physical memory: a frame table plus a buddy
-// allocator with per-core frame caches.
+// PhysMem is the simulated physical memory: a frame table plus per-NUMA
+//-node buddy zones with per-core frame caches. Each core's pcp cache
+// holds only frames of its home node; allocations prefer the placement
+// node's zone and walk its zonelist on exhaustion.
 type PhysMem struct {
 	frames []FrameDesc
-	buddy  buddy
-	pcp    []pcpCache
-	kinds  [numKinds]atomic.Int64 // frames allocated per kind
+	zones  []zone
+	// zoneSize is the uniform shard size (the last zone absorbs the
+	// remainder); zoneOf divides by it.
+	zoneSize int
+	// coreNodes maps each core to its home node.
+	coreNodes []int
+	// zonelists[n] is node n's fallback walk order (local first).
+	zonelists  [][]int
+	allocStats []nodeAllocCounters
+	policy     atomic.Pointer[AllocPolicy]
+	pcp        []pcpCache
+	kinds      [numKinds]atomic.Int64 // frames allocated per kind
 
-	// lowWater/minWater are the reclaim watermarks in frames (0 =
-	// disabled). Dropping below low kicks background reclaim; the
-	// allocator only fails hard once direct reclaim cannot lift free
-	// frames above min.
+	// lowWater/minWater are the global reclaim watermarks in frames
+	// (0 = disabled); each zone carries its proportional share.
+	// Dropping a zone below its low share kicks background reclaim for
+	// that node; the allocator only fails hard once direct reclaim
+	// cannot lift global free frames above min.
 	lowWater atomic.Uint64
 	minWater atomic.Uint64
 	// reclaim is the registered direct-reclaim hook, if any.
 	reclaim atomic.Pointer[ReclaimHook]
 	// kick is invoked (from allocation paths, so it must be cheap and
-	// non-blocking) when free frames drop below the low watermark.
-	kick atomic.Pointer[func()]
+	// non-blocking) when a zone's free frames drop below its low
+	// watermark; the argument is the starved node.
+	kick atomic.Pointer[func(node int)]
 }
 
-// NewPhysMem creates a physical memory of nframes 4-KiB frames serving
-// the given number of cores. Frame 0 is reserved (a NULL frame), as on
-// real hardware.
+// NewPhysMem creates a single-node physical memory of nframes 4-KiB
+// frames serving the given number of cores. Frame 0 is reserved (a NULL
+// frame), as on real hardware. NUMA machines use NewPhysMemNUMA.
 func NewPhysMem(nframes, cores int) *PhysMem {
-	if nframes < 2 {
-		panic("mem: need at least 2 frames")
-	}
-	m := &PhysMem{
-		frames: make([]FrameDesc, nframes),
-		pcp:    make([]pcpCache, cores),
-	}
-	m.buddy.init(nframes)
-	return m
+	return NewPhysMemNUMA(nframes, cores, 1, nil)
 }
 
 // NFrames returns the number of physical frames.
@@ -158,11 +171,18 @@ func (m *PhysMem) Desc(pfn arch.PFN) *FrameDesc { return &m.frames[pfn] }
 // ErrOutOfMemory is returned when no frame of the requested order exists.
 var ErrOutOfMemory = fmt.Errorf("mem: out of physical memory")
 
-// SetWatermarks configures the reclaim watermarks, in frames. Zero
+// SetWatermarks configures the global reclaim watermarks, in frames,
+// distributing each zone's share proportional to its size. Zero
 // disables the corresponding behavior.
 func (m *PhysMem) SetWatermarks(low, min uint64) {
 	m.lowWater.Store(low)
 	m.minWater.Store(min)
+	total := uint64(len(m.frames))
+	for i := range m.zones {
+		z := &m.zones[i]
+		z.lowWater.Store(low * z.frames() / total)
+		z.minWater.Store(min * z.frames() / total)
+	}
 }
 
 // Watermarks returns the configured (low, min) watermarks in frames.
@@ -180,10 +200,11 @@ func (m *PhysMem) SetReclaimHook(h ReclaimHook) {
 }
 
 // SetPressureKick registers fn to be called when an allocation observes
-// free frames below the low watermark (nil unregisters). fn must be
-// cheap and non-blocking — typically it just sets a flag a background
-// sweeper picks up at the next timer tick.
-func (m *PhysMem) SetPressureKick(fn func()) {
+// a zone's free frames below its low watermark (nil unregisters). fn
+// receives the starved node and must be cheap and non-blocking —
+// typically it just sets a flag a background sweeper picks up at the
+// next timer tick.
+func (m *PhysMem) SetPressureKick(fn func(node int)) {
 	if fn == nil {
 		m.kick.Store(nil)
 		return
@@ -191,26 +212,29 @@ func (m *PhysMem) SetPressureKick(fn func()) {
 	m.kick.Store(&fn)
 }
 
-// checkPressure kicks background reclaim when free frames (buddy only —
-// one atomic load, no locks) dip below the low watermark.
-func (m *PhysMem) checkPressure() {
-	low := m.lowWater.Load()
-	if low == 0 || m.buddy.freeCount() >= low {
+// checkPressure kicks background reclaim when the placement zone's free
+// frames (zone buddy only — one atomic load, no locks) dip below its
+// low watermark.
+func (m *PhysMem) checkPressure(node int) {
+	z := &m.zones[node]
+	low := z.lowWater.Load()
+	if low == 0 || z.buddy.freeCount() >= low {
 		return
 	}
 	if k := m.kick.Load(); k != nil {
-		(*k)()
+		(*k)(node)
 	}
 }
 
-// DrainPCP flushes every per-core frame cache back into the buddy so
-// scattered order-0 frames can coalesce into higher orders and so one
-// core's hoard is visible to all. Returns the number of frames moved.
+// DrainPCP flushes every per-core frame cache back into its home zone's
+// buddy so scattered order-0 frames can coalesce into higher orders and
+// so one core's hoard is visible to all. Returns the number of frames
+// moved.
 func (m *PhysMem) DrainPCP() int {
 	total := 0
 	for i := range m.pcp {
 		if fs := m.pcp[i].drain(); len(fs) > 0 {
-			m.buddy.freeBatch(fs)
+			m.zones[m.coreNode(i)].buddy.freeBatch(fs)
 			total += len(fs)
 		}
 	}
@@ -226,7 +250,7 @@ func (m *PhysMem) DrainPCP() int {
 // nothing while free frames sit at or below the min watermark, or after
 // reclaimRounds rounds. retry must re-attempt the original allocation
 // and report success.
-func (m *PhysMem) allocSlow(core int, retry func() bool) bool {
+func (m *PhysMem) allocSlow(core, node int, retry func() bool) bool {
 	m.DrainPCP()
 	if retry() {
 		return true
@@ -237,7 +261,7 @@ func (m *PhysMem) allocSlow(core int, retry func() bool) bool {
 	}
 	hook := *hp
 	for round := 0; round < reclaimRounds; round++ {
-		got := hook(core, reclaimTarget)
+		got := hook(core, node, reclaimTarget)
 		m.DrainPCP()
 		if retry() {
 			return true
@@ -253,18 +277,35 @@ func (m *PhysMem) allocSlow(core int, retry func() bool) bool {
 }
 
 // AllocFrame allocates one 4-KiB frame of the given kind, preferring the
-// calling core's frame cache. The frame starts with Ref == 1.
+// calling core's frame cache and home zone (first touch). The frame
+// starts with Ref == 1.
 func (m *PhysMem) AllocFrame(core int, kind Kind) (arch.PFN, error) {
+	return m.AllocFrameOn(core, m.preferredNode(core), kind)
+}
+
+// AllocFrameOn allocates one 4-KiB frame of the given kind placed on
+// node when possible, walking node's zonelist on exhaustion. The
+// per-core frame cache serves the allocation only when node is the
+// calling core's home node, so the cache never hands out off-node
+// frames. The frame starts with Ref == 1.
+func (m *PhysMem) AllocFrameOn(core, node int, kind Kind) (arch.PFN, error) {
 	if fault.MemAllocFrame.Fire() {
 		return 0, fault.MemAllocFrame.Errorf(ErrOutOfMemory)
 	}
-	pfn, ok := m.pcp[core].pop()
-	if !ok {
-		pfn, ok = m.refill(core)
+	var pfn arch.PFN
+	var ok bool
+	if node == m.coreNode(core) {
+		pfn, ok = m.pcp[core].pop()
+		if !ok {
+			pfn, ok = m.refill(core)
+		}
 	}
 	if !ok {
-		ok = m.allocSlow(core, func() bool {
-			pfn, ok = m.refill(core)
+		pfn, ok = m.zonelistAlloc(core, node)
+	}
+	if !ok {
+		ok = m.allocSlow(core, node, func() bool {
+			pfn, ok = m.zonelistAlloc(core, node)
 			return ok
 		})
 	}
@@ -272,54 +313,64 @@ func (m *PhysMem) AllocFrame(core int, kind Kind) (arch.PFN, error) {
 		return 0, ErrOutOfMemory
 	}
 	m.initFrame(pfn, kind, 0)
-	m.checkPressure()
+	m.checkPressure(node)
 	return pfn, nil
 }
 
-// refill grabs a batch of order-0 frames from the buddy, keeping all but
-// one in the core's cache.
+// refill grabs a batch of order-0 frames from the core's home zone,
+// keeping all but one in the core's cache. Only home-zone frames ever
+// enter a pcp cache.
 func (m *PhysMem) refill(core int) (arch.PFN, bool) {
 	var batch [pcpBatch]arch.PFN
-	n := m.buddy.allocBatch(batch[:])
+	home := m.coreNode(core)
+	n := m.zones[home].buddy.allocBatch(batch[:])
 	if n == 0 {
 		return 0, false
 	}
+	m.account(core, home, n)
 	m.pcp[core].fill(batch[:n-1])
 	return batch[n-1], true
 }
 
 // AllocFrameBatch allocates up to len(out) order-0 frames of the given
-// kind in one shot, draining the core's cache and the buddy under one
-// lock acquisition each instead of one per frame — the bulk-populate
-// path. Returns the number of frames obtained; fewer than requested
-// (possibly zero) means physical memory is exhausted even after direct
-// reclaim. Each frame starts with Ref == 1, exactly as from AllocFrame.
+// kind in one shot, draining the core's cache and the placement zones
+// under one lock acquisition each instead of one per frame — the
+// bulk-populate path. Returns the number of frames obtained; fewer than
+// requested (possibly zero) means physical memory is exhausted even
+// after direct reclaim. Each frame starts with Ref == 1, exactly as
+// from AllocFrame.
 func (m *PhysMem) AllocFrameBatch(core int, kind Kind, out []arch.PFN) int {
 	if fault.MemAllocBatch.Fire() {
 		return 0
 	}
-	n := m.pcp[core].popN(out)
-	if n < len(out) {
-		n += m.buddy.allocBatch(out[n:])
+	node := m.preferredNode(core)
+	n := 0
+	if node == m.coreNode(core) {
+		n = m.pcp[core].popN(out)
 	}
 	if n < len(out) {
-		m.allocSlow(core, func() bool {
-			n += m.buddy.allocBatch(out[n:])
+		n += m.zonelistAllocBatch(core, node, out[n:])
+	}
+	if n < len(out) {
+		m.allocSlow(core, node, func() bool {
+			n += m.zonelistAllocBatch(core, node, out[n:])
 			return n == len(out)
 		})
 	}
 	for _, pfn := range out[:n] {
 		m.initFrame(pfn, kind, 0)
 	}
-	m.checkPressure()
+	m.checkPressure(node)
 	return n
 }
 
 // AllocFrames allocates a naturally aligned contiguous block of 2^order
-// frames (order 9 = 2 MiB huge page, order 18 = 1 GiB). Ref starts at 1
-// on the head frame. On exhaustion the slow path drains the per-core
-// order-0 caches back to the buddy — their frames may coalesce into a
-// block of the requested order — and runs direct reclaim before failing.
+// frames (order 9 = 2 MiB huge page, order 18 = 1 GiB), preferring the
+// placement node's zone. Ref starts at 1 on the head frame. On
+// exhaustion the slow path drains the per-core order-0 caches back to
+// their zones — their frames may coalesce into a block of the requested
+// order — and runs direct reclaim before failing. Blocks never span
+// zones, so a huge page is always node-homogeneous.
 func (m *PhysMem) AllocFrames(core int, order int, kind Kind) (arch.PFN, error) {
 	if order == 0 {
 		return m.AllocFrame(core, kind)
@@ -327,10 +378,11 @@ func (m *PhysMem) AllocFrames(core int, order int, kind Kind) (arch.PFN, error) 
 	if fault.MemAllocHuge.Fire() {
 		return 0, fault.MemAllocHuge.Errorf(ErrOutOfMemory)
 	}
-	pfn, ok := m.buddy.alloc(order)
+	node := m.preferredNode(core)
+	pfn, ok := m.zonelistAllocOrder(core, node, order)
 	if !ok {
-		ok = m.allocSlow(core, func() bool {
-			pfn, ok = m.buddy.alloc(order)
+		ok = m.allocSlow(core, node, func() bool {
+			pfn, ok = m.zonelistAllocOrder(core, node, order)
 			return ok
 		})
 	}
@@ -338,7 +390,7 @@ func (m *PhysMem) AllocFrames(core int, order int, kind Kind) (arch.PFN, error) 
 		return 0, ErrOutOfMemory
 	}
 	m.initFrame(pfn, kind, uint8(order))
-	m.checkPressure()
+	m.checkPressure(node)
 	return pfn, nil
 }
 
@@ -412,13 +464,19 @@ func (m *PhysMem) Put(core int, pfn arch.PFN) {
 	for i := arch.PFN(1); i < 1<<order; i++ {
 		m.frames[pfn+i].tail = 0
 	}
+	z := m.zoneOf(pfn)
 	if order == 0 {
-		if full := m.pcp[core].push(pfn); full != nil {
-			m.buddy.freeBatch(full)
+		// Only home-node frames enter the core's cache; off-node frames
+		// go straight back to their owning zone so every pcp cache (and
+		// the overflow batches it spills) stays node-pure.
+		if z == m.coreNode(core) {
+			if full := m.pcp[core].push(pfn); full != nil {
+				m.zones[z].buddy.freeBatch(full)
+			}
+			return
 		}
-		return
 	}
-	m.buddy.free(pfn, order)
+	m.zones[z].buddy.free(pfn, order)
 }
 
 // Words returns the PTE array of a page-table frame.
@@ -456,8 +514,15 @@ func (m *PhysMem) DataPage(pfn arch.PFN) []byte {
 	return data[off : off+arch.PageSize]
 }
 
-// FreeFrames reports the number of free frames remaining.
-func (m *PhysMem) FreeFrames() uint64 { return m.buddy.freeCount() + m.pcpCached() }
+// FreeFrames reports the number of free frames remaining across all
+// zones.
+func (m *PhysMem) FreeFrames() uint64 {
+	var n uint64
+	for i := range m.zones {
+		n += m.zones[i].buddy.freeCount()
+	}
+	return n + m.pcpCached()
+}
 
 func (m *PhysMem) pcpCached() uint64 {
 	var n uint64

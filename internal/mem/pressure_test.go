@@ -81,7 +81,7 @@ func TestAllocFramesDrainsPCP(t *testing.T) {
 	for i := arch.PFN(0); i < 4; i++ {
 		m.Put(0, quad+i)
 	}
-	if got := m.buddy.freeCount(); got != 0 {
+	if got := m.zones[0].buddy.freeCount(); got != 0 {
 		t.Fatalf("buddy has %d free frames, want 0 (all in pcp)", got)
 	}
 	// Order-2 needs the 4 cached frames merged back into one block.
@@ -119,7 +119,7 @@ func TestAllocSlowPathReclaimHook(t *testing.T) {
 		held = append(held, pfn)
 	}
 	rounds := 0
-	m.SetReclaimHook(func(core, target int) int {
+	m.SetReclaimHook(func(core, node, target int) int {
 		rounds++
 		if rounds < 2 {
 			return 0 // first round: no progress, slow path must retry
@@ -142,7 +142,7 @@ func TestAllocSlowPathReclaimHook(t *testing.T) {
 	// With the hook drained dry and below min, allocation must fail
 	// after bounded rounds instead of looping forever.
 	m.SetWatermarks(16, frames) // min above anything reachable
-	m.SetReclaimHook(func(core, target int) int { return 0 })
+	m.SetReclaimHook(func(core, node, target int) int { return 0 })
 	rounds = 0
 	for {
 		pfn, err := m.AllocFrame(0, KindAnon)
@@ -163,7 +163,7 @@ func TestPressureKick(t *testing.T) {
 	m := NewPhysMem(frames, 1)
 	m.SetWatermarks(32, 4)
 	kicks := 0
-	m.SetPressureKick(func() { kicks++ })
+	m.SetPressureKick(func(node int) { kicks++ })
 	var held []arch.PFN
 	for i := 0; i < frames-40; i++ {
 		pfn, err := m.AllocFrame(0, KindAnon)

@@ -56,13 +56,13 @@ func TestEagerMapping(t *testing.T) {
 func TestReplicaLagSync(t *testing.T) {
 	s, m := newSpace(t)
 	defer s.Destroy(0)
-	// Core 0 (node 0) maps; core 1 (node 1) accesses: node 1's replica
-	// must catch up via the log.
+	// Core 0 (node 0) maps; core 4 (node 1 under the cluster-block
+	// topology) accesses: node 1's replica must catch up via the log.
 	va, _ := s.Mmap(0, arch.PageSize, arch.PermRW, 0)
 	if err := s.Store(0, va, 3); err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Load(1, va)
+	b, err := s.Load(4, va)
 	if err != nil || b != 3 {
 		t.Fatalf("remote node read = %d, %v", b, err)
 	}
@@ -77,7 +77,7 @@ func TestUnmapAcrossReplicas(t *testing.T) {
 	s, _ := newSpace(t)
 	defer s.Destroy(0)
 	va, _ := s.Mmap(0, 2*arch.PageSize, arch.PermRW, 0)
-	s.Touch(1, va, pt.AccessRead) // materialize node 1
+	s.Touch(4, va, pt.AccessRead) // materialize node 1 (cores 4-7)
 	if err := s.Munmap(2, va, 2*arch.PageSize); err != nil {
 		t.Fatal(err)
 	}

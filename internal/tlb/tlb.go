@@ -154,15 +154,60 @@ func (c *coreTLB) hugeSet(asid ASID, base arch.Vaddr, level int) []slot {
 	return c.hugeSlots[i : i+nWays : i+nWays]
 }
 
+// nodeShootStats count shootdown traffic per target NUMA node, padded
+// so nodes never share a cache line.
+type nodeShootStats struct {
+	deliveries  atomic.Uint64 // per-core bumps/posts delivered to this node's cores
+	filtered    atomic.Uint64 // this node's cores skipped by presence filtering
+	clusterIPIs atomic.Uint64 // node-granular broadcasts with >=1 delivery here
+	_           [40]byte
+}
+
 // Machine is the TLB hardware of the whole simulated machine.
 type Machine struct {
 	mode  Mode
 	cores []coreTLB
+
+	// nodeOf maps cores to NUMA nodes; nodeCores is the inverse.
+	// Shootdown fan-out walks cores node by node (initiator's node
+	// first), modelling cluster-mode IPI delivery: one logical IPI per
+	// node that has at least one non-filtered target, instead of one
+	// point-to-point interrupt per core.
+	nodeOf    []int
+	nodeCores [][]int
+	nodeStats []nodeShootStats
 }
 
-// NewMachine creates TLBs for the given core count and protocol.
+// NewMachine creates TLBs for the given core count and protocol on a
+// single NUMA node.
 func NewMachine(cores int, mode Mode) *Machine {
-	m := &Machine{mode: mode, cores: make([]coreTLB, cores)}
+	return NewMachineNUMA(cores, mode, nil)
+}
+
+// NewMachineNUMA creates TLBs for cores whose NUMA nodes are given by
+// nodeOf (nodeOf[c] is core c's node; nil means one node). The node map
+// only shapes shootdown fan-out order and per-node accounting — cache
+// contents and the staleness contract are identical on any topology.
+func NewMachineNUMA(cores int, mode Mode, nodeOf []int) *Machine {
+	if nodeOf == nil {
+		nodeOf = make([]int, cores)
+	}
+	nodes := 1
+	for _, n := range nodeOf {
+		if n+1 > nodes {
+			nodes = n + 1
+		}
+	}
+	m := &Machine{
+		mode:      mode,
+		cores:     make([]coreTLB, cores),
+		nodeOf:    append([]int(nil), nodeOf...),
+		nodeCores: make([][]int, nodes),
+		nodeStats: make([]nodeShootStats, nodes),
+	}
+	for c := 0; c < cores; c++ {
+		m.nodeCores[nodeOf[c]] = append(m.nodeCores[nodeOf[c]], c)
+	}
 	for i := range m.cores {
 		m.cores[i].slots = make([]slot, nSets*nWays)
 		m.cores[i].hugeSlots = make([]slot, hugeSets*nWays)
@@ -170,6 +215,40 @@ func NewMachine(cores int, mode Mode) *Machine {
 		m.cores[i].precLimit.Store(preciseLimitInit)
 	}
 	return m
+}
+
+// visitRemoteByNode visits every core except the initiator in
+// node-batched order: the initiator's own node first (cheapest
+// interrupts), then the remaining nodes by ascending ID with wrap.
+// visit reports whether the core was actually signalled (false =
+// presence-filtered); every node with at least one delivery costs one
+// cluster IPI. Per-node delivery/filter/cluster counters accrue here so
+// each protocol's fan-out loop stays a one-liner.
+func (m *Machine) visitRemoteByNode(initiator int, visit func(j int) bool) {
+	home := m.nodeOf[initiator]
+	nn := len(m.nodeCores)
+	for k := 0; k < nn; k++ {
+		n := home + k
+		if n >= nn {
+			n -= nn
+		}
+		ns := &m.nodeStats[n]
+		delivered := false
+		for _, j := range m.nodeCores[n] {
+			if j == initiator {
+				continue
+			}
+			if visit(j) {
+				delivered = true
+				ns.deliveries.Add(1)
+			} else {
+				ns.filtered.Add(1)
+			}
+		}
+		if delivered {
+			ns.clusterIPIs.Add(1)
+		}
+	}
 }
 
 // Mode returns the configured shootdown protocol.
@@ -501,27 +580,22 @@ func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
 	maybeDelay()
 	switch m.mode {
 	case ModeSync:
-		for j := range m.cores {
-			if j == initiator {
-				continue
-			}
+		m.visitRemoteByNode(initiator, func(j int) bool {
 			cell := m.cores[j].cell(asid)
 			if !cell.maybePresent() {
 				c.stats.filtered.Add(1)
-				continue
+				return false
 			}
 			c.stats.ipis.Add(1)
 			bumpRemote(cell, asid, vas, &c.stats)
-		}
+			return true
+		})
 	case ModeEarlyAck:
-		for j := range m.cores {
-			if j == initiator {
-				continue
-			}
+		m.visitRemoteByNode(initiator, func(j int) bool {
 			t := &m.cores[j]
 			if !t.cell(asid).maybePresent() {
 				c.stats.filtered.Add(1)
-				continue
+				return false
 			}
 			t.inboxMu.Lock()
 			for _, va := range vas {
@@ -530,7 +604,8 @@ func (m *Machine) Shootdown(initiator int, asid ASID, vas []arch.Vaddr) {
 			t.inboxN.Add(int64(len(vas)))
 			t.inboxMu.Unlock()
 			c.stats.deferred.Add(uint64(len(vas)))
-		}
+			return true
+		})
 	case ModeLATR:
 		c.latrMu.Lock()
 		for _, va := range vas {
@@ -556,14 +631,11 @@ func (m *Machine) ShootdownRanges(initiator int, asid ASID, ranges []Range) {
 	case ModeSync:
 		m.fanRangesNow(c, initiator, asid, ranges)
 	case ModeEarlyAck:
-		for j := range m.cores {
-			if j == initiator {
-				continue
-			}
+		m.visitRemoteByNode(initiator, func(j int) bool {
 			t := &m.cores[j]
 			if !t.cell(asid).maybePresent() {
 				c.stats.filtered.Add(1)
-				continue
+				return false
 			}
 			t.inboxMu.Lock()
 			for _, r := range ranges {
@@ -572,7 +644,8 @@ func (m *Machine) ShootdownRanges(initiator int, asid ASID, ranges []Range) {
 			t.inboxN.Add(int64(len(ranges)))
 			t.inboxMu.Unlock()
 			c.stats.deferred.Add(uint64(len(ranges)))
-		}
+			return true
+		})
 	case ModeLATR:
 		c.latrMu.Lock()
 		for _, r := range ranges {
@@ -610,18 +683,16 @@ func (m *Machine) ShootdownRangeSync(initiator int, asid ASID, lo, hi arch.Vaddr
 }
 
 func (m *Machine) fanRangesNow(c *coreTLB, initiator int, asid ASID, ranges []Range) {
-	for j := range m.cores {
-		if j == initiator {
-			continue
-		}
+	m.visitRemoteByNode(initiator, func(j int) bool {
 		cell := m.cores[j].cell(asid)
 		if !cell.maybePresent() {
 			c.stats.filtered.Add(1)
-			continue
+			return false
 		}
 		c.stats.ipis.Add(1)
 		bumpRemoteRanges(cell, asid, ranges, &c.stats)
-	}
+		return true
+	})
 }
 
 // ShootdownAll invalidates every entry of asid on every core (used for
@@ -635,21 +706,19 @@ func (m *Machine) ShootdownAll(initiator int, asid ASID) {
 	case ModeSync:
 		m.fanAllNow(c, initiator, asid)
 	case ModeEarlyAck:
-		for j := range m.cores {
-			if j == initiator {
-				continue
-			}
+		m.visitRemoteByNode(initiator, func(j int) bool {
 			t := &m.cores[j]
 			if !t.cell(asid).maybePresent() {
 				c.stats.filtered.Add(1)
-				continue
+				return false
 			}
 			t.inboxMu.Lock()
 			t.inbox = append(t.inbox, Invalidation{ASID: asid, All: true})
 			t.inboxN.Add(1)
 			t.inboxMu.Unlock()
 			c.stats.deferred.Add(1)
-		}
+			return true
+		})
 	case ModeLATR:
 		c.latrMu.Lock()
 		c.latrBuf = append(c.latrBuf, Invalidation{ASID: asid, All: true})
@@ -671,18 +740,16 @@ func (m *Machine) ShootdownSync(initiator int, asid ASID, vas []arch.Vaddr) {
 		c.clearHugeSpans(asid, va, va+arch.PageSize)
 	}
 	maybeDelay()
-	for j := range m.cores {
-		if j == initiator {
-			continue
-		}
+	m.visitRemoteByNode(initiator, func(j int) bool {
 		cell := m.cores[j].cell(asid)
 		if !cell.maybePresent() {
 			c.stats.filtered.Add(1)
-			continue
+			return false
 		}
 		c.stats.ipis.Add(1)
 		bumpRemote(cell, asid, vas, &c.stats)
-	}
+		return true
+	})
 }
 
 // ShootdownPageSync is ShootdownSync for a single page — the COW-break
@@ -702,19 +769,17 @@ func (m *Machine) ShootdownAllSync(initiator int, asid ASID) {
 }
 
 func (m *Machine) fanAllNow(c *coreTLB, initiator int, asid ASID) {
-	for j := range m.cores {
-		if j == initiator {
-			continue
-		}
+	m.visitRemoteByNode(initiator, func(j int) bool {
 		cell := m.cores[j].cell(asid)
 		if !cell.maybePresent() {
 			c.stats.filtered.Add(1)
-			continue
+			return false
 		}
 		c.stats.ipis.Add(1)
 		cell.bump(asid, 0, arch.MaxVaddr, true)
 		c.stats.genBumps.Add(1)
-	}
+		return true
+	})
 }
 
 // drainInbox applies this core's queued early-ack invalidations.
@@ -763,18 +828,17 @@ func (m *Machine) Tick(core int) {
 		src.latrN.Store(0)
 		src.latrMu.Unlock()
 		for _, inv := range pending {
+			inv := inv
 			c.invalidateLocal(inv)
-			for j := range m.cores {
-				if j == core {
-					continue
-				}
+			m.visitRemoteByNode(core, func(j int) bool {
 				cell := m.cores[j].cell(inv.ASID)
 				if !cell.maybePresent() {
-					continue
+					return false
 				}
 				cell.bump(inv.ASID, inv.Lo, inv.Hi, inv.All)
 				c.stats.genBumps.Add(1)
-			}
+				return true
+			})
 		}
 		c.stats.applied.Add(uint64(len(pending)))
 		src.latrMu.Lock()
@@ -810,6 +874,17 @@ type Stats struct {
 	StaleDrops uint64 // entries lazily discarded by generation checks
 	HugeHits   uint64 // lookups served by the huge-entry array
 	HugeEvicts uint64 // huge entries displaced by capacity replacement
+	// ClusterIPIs counts node-granular IPI broadcasts: one per target
+	// node with at least one non-filtered core per fan-out event. On a
+	// single node this equals the number of fan-out events that
+	// signalled anyone.
+	ClusterIPIs uint64
+	// PrecLimitMin/Max/Avg snapshot the adaptive precise-vs-bump
+	// cutover across cores — where each workload's invalidation mix
+	// drove the per-core limits (between preciseLimitMin and Max).
+	PrecLimitMin int64
+	PrecLimitMax int64
+	PrecLimitAvg float64
 }
 
 // HitRate is Hits/Lookups, 0 when idle.
@@ -823,6 +898,7 @@ func (s Stats) HitRate() float64 {
 // Stats returns cumulative counters aggregated over all cores.
 func (m *Machine) Stats() Stats {
 	var out Stats
+	var limSum int64
 	for i := range m.cores {
 		st := &m.cores[i].stats
 		out.Lookups += st.lookups.Load()
@@ -837,6 +913,48 @@ func (m *Machine) Stats() Stats {
 		out.StaleDrops += st.staleDrops.Load()
 		out.HugeHits += st.hugeHits.Load()
 		out.HugeEvicts += st.hugeEvicts.Load()
+		lim := m.cores[i].precLimit.Load()
+		if i == 0 || lim < out.PrecLimitMin {
+			out.PrecLimitMin = lim
+		}
+		if lim > out.PrecLimitMax {
+			out.PrecLimitMax = lim
+		}
+		limSum += lim
+	}
+	if len(m.cores) > 0 {
+		out.PrecLimitAvg = float64(limSum) / float64(len(m.cores))
+	}
+	for n := range m.nodeStats {
+		out.ClusterIPIs += m.nodeStats[n].clusterIPIs.Load()
+	}
+	return out
+}
+
+// NodeShootdownStats is one NUMA node's view of inbound shootdown
+// traffic.
+type NodeShootdownStats struct {
+	Node int
+	// Deliveries counts per-core invalidation deliveries (generation
+	// bumps or mailbox posts) to this node's cores.
+	Deliveries uint64
+	// Filtered counts this node's cores skipped by presence filtering.
+	Filtered uint64
+	// ClusterIPIs counts node-granular broadcasts that reached this
+	// node (>=1 delivery).
+	ClusterIPIs uint64
+}
+
+// NodeStats snapshots per-node shootdown fan-out counters.
+func (m *Machine) NodeStats() []NodeShootdownStats {
+	out := make([]NodeShootdownStats, len(m.nodeStats))
+	for n := range m.nodeStats {
+		out[n] = NodeShootdownStats{
+			Node:        n,
+			Deliveries:  m.nodeStats[n].deliveries.Load(),
+			Filtered:    m.nodeStats[n].filtered.Load(),
+			ClusterIPIs: m.nodeStats[n].clusterIPIs.Load(),
+		}
 	}
 	return out
 }

@@ -165,18 +165,45 @@ func TestRangeShootdownPrecision(t *testing.T) {
 	}
 }
 
-func TestRingWrapConservativeMiss(t *testing.T) {
+func TestRingWrapSpillsToOverflow(t *testing.T) {
 	m := NewMachine(2, ModeSync)
 	m.Insert(1, 1, 0x1000, tr(1))
-	// Push more records through core 1's cell than its ring holds; the
-	// 0x1000 entry's history falls off the ring, so — although no record
-	// covers it — the lazy check must discard it conservatively rather
-	// than guess.
+	// Push more records through core 1's cell than its ring holds. The
+	// 0x1000 entry's history falls off the ring, but the evicted records
+	// land on the overflow list, so the lazy check still replays them
+	// precisely: none covers 0x1000, the entry survives.
 	for i := 0; i < 2*ringLen; i++ {
 		m.ShootdownRange(0, 1, arch.Vaddr(0x100000+i*0x1000), arch.Vaddr(0x100000+(i+preciseLimitInit+1)*0x1000))
 	}
+	if _, ok := m.Lookup(1, 1, 0x1000); !ok {
+		t.Error("entry lost: ring wrap must replay from the overflow list")
+	}
+	if sd := m.Stats().StaleDrops; sd != 0 {
+		t.Errorf("staledrops = %d after deep disjoint burst, want 0", sd)
+	}
+	// A covered entry two rings deep in history must still die.
+	m.Insert(1, 1, 0x2000, tr(2))
+	m.ShootdownRange(0, 1, 0x2000, 0x3000)
+	for i := 0; i < 2*ringLen; i++ {
+		m.ShootdownRange(0, 1, arch.Vaddr(0x200000+i*0x1000), arch.Vaddr(0x200000+(i+1)*0x1000))
+	}
+	if _, ok := m.Lookup(1, 1, 0x2000); ok {
+		t.Error("covered entry survived overflow replay")
+	}
+}
+
+func TestOverflowTrimConservativeMiss(t *testing.T) {
+	m := NewMachine(2, ModeSync)
+	m.Insert(1, 1, 0x1000, tr(1))
+	// Push enough disjoint records to overflow the overflow list itself;
+	// once the entry's history is trimmed, the lazy check must discard
+	// it conservatively rather than guess.
+	for i := 0; i < overflowCap+2*ringLen; i++ {
+		lo := arch.Vaddr(0x1000000 + i*0x1000)
+		m.ShootdownRange(0, 1, lo, lo+0x1000)
+	}
 	if _, ok := m.Lookup(1, 1, 0x1000); ok {
-		t.Error("entry older than the ring survived; wrap must invalidate conservatively")
+		t.Error("entry older than trimmed overflow history survived; must miss conservatively")
 	}
 }
 
@@ -241,5 +268,93 @@ func TestHitRateStats(t *testing.T) {
 	st := m.Stats()
 	if st.Lookups != 2 || st.Hits != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestNodeBatchedFanout checks the cluster-IPI accounting: shootdown
+// delivery is batched per node, each node with at least one non-filtered
+// target costs exactly one cluster IPI, and presence-filtered cores are
+// charged to their node without triggering a broadcast.
+func TestNodeBatchedFanout(t *testing.T) {
+	nodeOf := []int{0, 0, 1, 1}
+	m := NewMachineNUMA(4, ModeSync, nodeOf)
+	for c := 1; c < 4; c++ {
+		m.Insert(c, 1, 0x5000, tr(5))
+	}
+	// Core 0 shoots: core 1 (node 0) + cores 2,3 (node 1) all present.
+	m.Shootdown(0, 1, []arch.Vaddr{0x5000})
+	ns := m.NodeStats()
+	if len(ns) != 2 {
+		t.Fatalf("NodeStats returned %d nodes, want 2", len(ns))
+	}
+	if ns[0].Deliveries != 1 || ns[0].Filtered != 0 || ns[0].ClusterIPIs != 1 {
+		t.Errorf("node 0 = %+v, want 1 delivery / 1 cluster IPI", ns[0])
+	}
+	if ns[1].Deliveries != 2 || ns[1].Filtered != 0 || ns[1].ClusterIPIs != 1 {
+		t.Errorf("node 1 = %+v, want 2 deliveries / 1 cluster IPI", ns[1])
+	}
+	if st := m.Stats(); st.ClusterIPIs != 2 {
+		t.Errorf("total cluster IPIs = %d, want 2", st.ClusterIPIs)
+	}
+
+	// ASID 2 lives only on core 3: node 0 is fully filtered and must not
+	// pay a cluster IPI; node 1 filters core 2 but still broadcasts once
+	// for core 3.
+	m.Insert(3, 2, 0x6000, tr(6))
+	m.Shootdown(0, 2, []arch.Vaddr{0x6000})
+	ns = m.NodeStats()
+	if ns[0].Deliveries != 1 || ns[0].Filtered != 1 || ns[0].ClusterIPIs != 1 {
+		t.Errorf("node 0 after filtered round = %+v", ns[0])
+	}
+	if ns[1].Deliveries != 3 || ns[1].Filtered != 1 || ns[1].ClusterIPIs != 2 {
+		t.Errorf("node 1 after filtered round = %+v", ns[1])
+	}
+	if st := m.Stats(); st.ClusterIPIs != 3 {
+		t.Errorf("total cluster IPIs = %d, want 3", st.ClusterIPIs)
+	}
+}
+
+// TestNodeBatchedFanoutLATR: deferred invalidations fanned out at tick
+// time go through the same node batching.
+func TestNodeBatchedFanoutLATR(t *testing.T) {
+	nodeOf := []int{0, 0, 1, 1}
+	m := NewMachineNUMA(4, ModeLATR, nodeOf)
+	for c := 0; c < 4; c++ {
+		m.Insert(c, 1, 0x7000, tr(7))
+	}
+	m.Shootdown(0, 1, []arch.Vaddr{0x7000})
+	// Deferred: no fan-out yet.
+	if st := m.Stats(); st.ClusterIPIs != 0 {
+		t.Fatalf("cluster IPIs before tick = %d", st.ClusterIPIs)
+	}
+	m.Tick(0) // initiator's tick sweeps its LATR buffer to the others
+	ns := m.NodeStats()
+	var deliv, cipis uint64
+	for _, n := range ns {
+		deliv += n.Deliveries
+		cipis += n.ClusterIPIs
+	}
+	if deliv != 3 || cipis != 2 {
+		t.Errorf("LATR fan-out: deliveries=%d clusterIPIs=%d, want 3/2 (%+v)", deliv, cipis, ns)
+	}
+	for c := 1; c < 4; c++ {
+		m.Tick(c)
+		if _, ok := m.Lookup(c, 1, 0x7000); ok {
+			t.Errorf("core %d entry survived ticked shootdown", c)
+		}
+	}
+}
+
+// TestSingleNodeDefault: NewMachine (no topology) behaves as one node.
+func TestSingleNodeDefault(t *testing.T) {
+	m := NewMachine(4, ModeSync)
+	m.Insert(1, 1, 0x1000, tr(1))
+	m.Shootdown(0, 1, []arch.Vaddr{0x1000})
+	ns := m.NodeStats()
+	if len(ns) != 1 {
+		t.Fatalf("default machine has %d nodes, want 1", len(ns))
+	}
+	if ns[0].ClusterIPIs != 1 {
+		t.Errorf("node 0 = %+v, want 1 cluster IPI", ns[0])
 	}
 }
