@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cortenbench [-fig all|1|2|13|14|...|22|pressure|numa|ablate] [-threads 1,2,4,8] [-scale 1.0]
+//	cortenbench [-fig all|1|2|13|14|...|22|pressure|batch|numa|ablate] [-threads 1,2,4,8] [-scale 1.0]
 //
 // Absolute numbers depend on the host; the comparisons between systems
 // are the reproduction target. See EXPERIMENTS.md for the side-by-side
@@ -63,6 +63,7 @@ func main() {
 		{"21", wrapApp(bench.Fig21)},
 		{"22", func(o bench.Options) error { _, err := bench.Fig22(o); return err }},
 		{"pressure", func(o bench.Options) error { _, err := bench.FigPressure(o); return err }},
+		{"batch", func(o bench.Options) error { _, err := bench.FigBatch(o); return err }},
 		{"numa", func(o bench.Options) error { _, err := bench.FigNuma(o); return err }},
 		{"ablate", bench.Ablations},
 	}

@@ -1,0 +1,153 @@
+// Package aio is an io_uring-style asynchronous submission/completion
+// queue for simulated block I/O. Callers enqueue requests (SQEs) with
+// Submit, which only buffers them — the I/O itself runs at Reap time,
+// so a producer can submit a whole sweep's worth of writebacks and pay
+// one completion-reaping pass instead of one synchronous device round
+// trip per page ("User Mode Memory Page Management"'s thesis: batch and
+// defer the I/O that the memory wall makes expensive).
+//
+// Completion is precise: every SQE gets its own CQE carrying the
+// request's error, so a partial-batch failure tells the caller exactly
+// which requests to unwind. Two deterministic fault-injection sites
+// cover the path: aio.submit refuses the submission (the request never
+// queues, no side effects yet), and aio.complete fails a queued request
+// at reap time (the submission succeeded, the unwind must run).
+package aio
+
+import (
+	"errors"
+	"sync"
+
+	"cortenmm/internal/fault"
+)
+
+// ErrIO is the default error class of injected aio failures; queues
+// built for a specific subsystem wrap their own base error instead
+// (e.g. the swap-writeback queue wraps mem.ErrOutOfMemory, because a
+// failed writeback means the frame could not be reclaimed).
+var ErrIO = errors.New("aio: i/o error")
+
+// SQE is one submission-queue entry: a deferred request identified by a
+// caller-chosen tag. Do runs at reap time; its error (or an injected
+// completion failure) becomes the CQE's error.
+type SQE struct {
+	Tag uint64
+	Do  func() error
+}
+
+// CQE is one completion-queue entry: the tag of the finished request
+// and its outcome.
+type CQE struct {
+	Tag uint64
+	Err error
+}
+
+// Stats is a queue's cumulative activity snapshot.
+type Stats struct {
+	Submitted uint64 // SQEs accepted
+	Refused   uint64 // submissions refused (injected submit failures)
+	Completed uint64 // CQEs with nil error
+	Failed    uint64 // CQEs with non-nil error
+	Reaps     uint64 // Reap calls that found pending work
+	// MaxInflight is the high-water number of submitted-but-unreaped
+	// requests — the queue depth the consumer must provision for.
+	MaxInflight int
+}
+
+// Queue is one submission/completion ring. It is safe for concurrent
+// use, but the intended shape is one producer submitting a batch and
+// then reaping it (per-sweep queues); Reap drains whatever is pending
+// at the time of the call.
+type Queue struct {
+	name string
+	base error
+
+	mu      sync.Mutex
+	pending []SQE
+	stats   Stats
+}
+
+// NewQueue creates an empty queue. base is the error class injected
+// failures wrap (nil defaults to ErrIO); callers that gate on error
+// classes (errors.Is) pick the class their unwind contract names.
+func NewQueue(name string, base error) *Queue {
+	if base == nil {
+		base = ErrIO
+	}
+	return &Queue{name: name, base: base}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Submit buffers one request. A refused submission (the aio.submit
+// fault site) returns an error wrapping the queue's base class and
+// queues nothing — the caller still owns every resource named by the
+// SQE.
+func (q *Queue) Submit(s SQE) error {
+	if fault.AIOSubmit.Fire() {
+		q.mu.Lock()
+		q.stats.Refused++
+		q.mu.Unlock()
+		return fault.AIOSubmit.Errorf(q.base)
+	}
+	q.mu.Lock()
+	q.pending = append(q.pending, s)
+	q.stats.Submitted++
+	if n := len(q.pending); n > q.stats.MaxInflight {
+		q.stats.MaxInflight = n
+	}
+	q.mu.Unlock()
+	return nil
+}
+
+// Inflight reports the submitted-but-unreaped request count.
+func (q *Queue) Inflight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Reap performs every pending request in submission order and returns
+// one CQE per request — the batched completion pass. A request whose Do
+// fails, or that draws an injected completion failure (the aio.complete
+// site, checked before Do runs so the device is never touched), gets
+// its error in the CQE; the remaining requests still run, so partial
+// failure is precise per request.
+func (q *Queue) Reap() []CQE {
+	q.mu.Lock()
+	pending := q.pending
+	q.pending = nil
+	if len(pending) > 0 {
+		q.stats.Reaps++
+	}
+	q.mu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+	cqes := make([]CQE, 0, len(pending))
+	for _, s := range pending {
+		var err error
+		if fault.AIOComplete.Fire() {
+			err = fault.AIOComplete.Errorf(q.base)
+		} else {
+			err = s.Do()
+		}
+		q.mu.Lock()
+		if err != nil {
+			q.stats.Failed++
+		} else {
+			q.stats.Completed++
+		}
+		q.mu.Unlock()
+		cqes = append(cqes, CQE{Tag: s.Tag, Err: err})
+	}
+	return cqes
+}
+
+// Stats snapshots the queue's counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}

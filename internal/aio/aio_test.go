@@ -1,0 +1,124 @@
+package aio
+
+import (
+	"errors"
+	"testing"
+
+	"cortenmm/internal/fault"
+)
+
+func TestSubmitReapOrderAndStats(t *testing.T) {
+	q := NewQueue("test", nil)
+	var ran []uint64
+	for i := uint64(0); i < 5; i++ {
+		i := i
+		if err := q.Submit(SQE{Tag: i, Do: func() error { ran = append(ran, i); return nil }}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if got := q.Inflight(); got != 5 {
+		t.Fatalf("inflight = %d, want 5", got)
+	}
+	cqes := q.Reap()
+	if len(cqes) != 5 {
+		t.Fatalf("reaped %d CQEs, want 5", len(cqes))
+	}
+	for i, c := range cqes {
+		if c.Tag != uint64(i) || c.Err != nil {
+			t.Fatalf("cqe %d = {%d %v}", i, c.Tag, c.Err)
+		}
+	}
+	if len(ran) != 5 || ran[0] != 0 || ran[4] != 4 {
+		t.Fatalf("requests ran out of order: %v", ran)
+	}
+	st := q.Stats()
+	if st.Submitted != 5 || st.Completed != 5 || st.Failed != 0 || st.MaxInflight != 5 || st.Reaps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if q.Inflight() != 0 || q.Reap() != nil {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestPerRequestErrors(t *testing.T) {
+	q := NewQueue("test", nil)
+	boom := errors.New("boom")
+	q.Submit(SQE{Tag: 1, Do: func() error { return nil }})
+	q.Submit(SQE{Tag: 2, Do: func() error { return boom }})
+	q.Submit(SQE{Tag: 3, Do: func() error { return nil }})
+	cqes := q.Reap()
+	if cqes[0].Err != nil || cqes[1].Err != boom || cqes[2].Err != nil {
+		t.Fatalf("per-request errors imprecise: %v", cqes)
+	}
+	st := q.Stats()
+	if st.Completed != 2 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectedSubmitFailure(t *testing.T) {
+	defer fault.DisarmAll()
+	base := errors.New("base-class")
+	q := NewQueue("test", base)
+	fault.AIOSubmit.Arm(fault.Config{Seed: 1})
+	err := q.Submit(SQE{Tag: 7, Do: func() error { t.Fatal("refused SQE ran"); return nil }})
+	fault.AIOSubmit.Disarm()
+	if err == nil || !errors.Is(err, base) {
+		t.Fatalf("refused submit error = %v, want wrap of base", err)
+	}
+	if q.Inflight() != 0 {
+		t.Fatal("refused submission was queued")
+	}
+	if st := q.Stats(); st.Refused != 1 || st.Submitted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectedCompletionFailure(t *testing.T) {
+	defer fault.DisarmAll()
+	base := errors.New("base-class")
+	q := NewQueue("test", base)
+	deviceTouched := false
+	q.Submit(SQE{Tag: 9, Do: func() error { deviceTouched = true; return nil }})
+	fault.AIOComplete.Arm(fault.Config{Seed: 1})
+	cqes := q.Reap()
+	fault.AIOComplete.Disarm()
+	if len(cqes) != 1 || cqes[0].Err == nil || !errors.Is(cqes[0].Err, base) {
+		t.Fatalf("cqes = %v, want one base-class failure", cqes)
+	}
+	if deviceTouched {
+		t.Fatal("injected completion failure still ran the request")
+	}
+	if st := q.Stats(); st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDeterministicInjection pins that a (seed, prob) pair refuses the
+// same submissions on every run.
+func TestDeterministicInjection(t *testing.T) {
+	defer fault.DisarmAll()
+	pattern := func() []bool {
+		q := NewQueue("test", nil)
+		fault.AIOSubmit.Arm(fault.Config{Seed: 42, Prob: 0.5})
+		defer fault.AIOSubmit.Disarm()
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, q.Submit(SQE{Tag: uint64(i), Do: func() error { return nil }}) != nil)
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	refused := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at submission %d", i)
+		}
+		if a[i] {
+			refused++
+		}
+	}
+	if refused == 0 || refused == 64 {
+		t.Fatalf("prob=0.5 refused %d/64 — not exercising both paths", refused)
+	}
+}

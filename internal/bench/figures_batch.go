@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/core"
+	"cortenmm/internal/mm"
+)
+
+// BatchCell is one point of the fig13-batch grid: the throughput of one
+// op mix at one batch size, against the same mix issued one op per call
+// (batch=1).
+type BatchCell struct {
+	System  System
+	Mix     string
+	Batch   int
+	Threads int
+	// PagesPerSec counts pages processed by the timed ops (mapped +
+	// unmapped for churn, unmapped for munmap-heavy, dropped for
+	// madvise).
+	PagesPerSec float64
+	// Speedup is PagesPerSec over the same (system, mix, threads) at
+	// batch=1; 1.0 for the baseline rows themselves.
+	Speedup float64
+	// Stats is the space's batch-pipeline counter snapshot (batched
+	// CortenMM rows only).
+	Stats core.BatchStats
+}
+
+// Batch-grid geometry: each thread owns a private region of 512 chunks
+// of 8 pages (4096 pages); one iteration processes the whole region.
+const (
+	batchChunkPages = 8
+	batchChunks     = 512
+	batchRegion     = batchChunks * batchChunkPages * arch.PageSize
+)
+
+// batchThreadBase spaces per-thread regions 1 GiB apart.
+func batchThreadBase(thread int) arch.Vaddr {
+	return arch.Vaddr(0x40_0000_0000 + uint64(thread)<<30)
+}
+
+// batchSupports reports whether a system can run a mix sequentially:
+// madvise needs the mm.Madviser surface, churn/munmap need on-demand
+// unmapping of arbitrary subranges (all systems provide it).
+func batchSupports(s mm.MM, mix string) bool {
+	if mix != "madvise" {
+		return true
+	}
+	_, ok := s.(mm.Madviser)
+	return ok
+}
+
+// runBatchWorker runs iters iterations of one mix on one thread,
+// returning pages processed and the time spent in the timed section.
+// batch <= 1 issues one syscall per op; larger batches enqueue on a
+// per-core ring and Submit every batch ops (CortenMM spaces only).
+func runBatchWorker(s mm.MM, mix string, thread, batch, iters int) (uint64, time.Duration, error) {
+	base := batchThreadBase(thread)
+	chunkB := uint64(batchChunkPages) * arch.PageSize
+	chunkVA := func(i int) arch.Vaddr { return base + arch.Vaddr(uint64(i)*chunkB) }
+	ca, _ := s.(*core.AddrSpace)
+
+	var pages uint64
+	var timed time.Duration
+
+	// forEachChunk runs op over every chunk inside the timed section,
+	// submitting every batch ops when batched.
+	forEachChunk := func(op func(b *core.Batch, va arch.Vaddr) error) error {
+		var b *core.Batch
+		if batch > 1 {
+			b = ca.NewBatch(thread)
+		}
+		t0 := time.Now()
+		for i := 0; i < batchChunks; i++ {
+			if err := op(b, chunkVA(i)); err != nil {
+				return err
+			}
+			if b != nil && b.Pending() >= batch {
+				for _, cqe := range b.Submit() {
+					if cqe.Err != nil {
+						return cqe.Err
+					}
+				}
+			}
+		}
+		if b != nil {
+			for _, cqe := range b.Submit() {
+				if cqe.Err != nil {
+					return cqe.Err
+				}
+			}
+		}
+		timed += time.Since(t0)
+		return nil
+	}
+	mapAll := func() error {
+		return s.MmapFixed(thread, base, uint64(batchRegion), arch.PermRW, mm.FlagPopulate)
+	}
+	repopulate := func() error {
+		if ca != nil {
+			return ca.PopulateRange(thread, base, uint64(batchRegion))
+		}
+		for off := uint64(0); off < uint64(batchRegion); off += arch.PageSize {
+			if err := s.Store(thread, base+arch.Vaddr(off), 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for it := 0; it < iters; it++ {
+		switch mix {
+		case "munmap-heavy":
+			if err := mapAll(); err != nil { // untimed
+				return 0, 0, err
+			}
+			err := forEachChunk(func(b *core.Batch, va arch.Vaddr) error {
+				if b != nil {
+					return b.Munmap(va, chunkB)
+				}
+				return s.Munmap(thread, va, chunkB)
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			pages += batchChunks * batchChunkPages
+
+		case "churn":
+			err := forEachChunk(func(b *core.Batch, va arch.Vaddr) error {
+				if b != nil {
+					return b.MmapFixed(va, chunkB, arch.PermRW, mm.FlagPopulate)
+				}
+				return s.MmapFixed(thread, va, chunkB, arch.PermRW, mm.FlagPopulate)
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			err = forEachChunk(func(b *core.Batch, va arch.Vaddr) error {
+				if b != nil {
+					return b.Munmap(va, chunkB)
+				}
+				return s.Munmap(thread, va, chunkB)
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			pages += 2 * batchChunks * batchChunkPages
+
+		case "madvise":
+			if it == 0 {
+				if err := mapAll(); err != nil { // untimed
+					return 0, 0, err
+				}
+			} else if err := repopulate(); err != nil { // untimed
+				return 0, 0, err
+			}
+			adv := s.(mm.Madviser)
+			err := forEachChunk(func(b *core.Batch, va arch.Vaddr) error {
+				if b != nil {
+					return b.Madvise(va, chunkB)
+				}
+				return adv.MadviseDontNeed(thread, va, chunkB)
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			pages += batchChunks * batchChunkPages
+
+		default:
+			return 0, 0, fmt.Errorf("bench: unknown batch mix %q", mix)
+		}
+	}
+	// madvise leaves the region mapped; drop it so repeats start clean.
+	if mix == "madvise" {
+		if err := s.Munmap(thread, base, uint64(batchRegion)); err != nil {
+			return 0, 0, err
+		}
+	}
+	return pages, timed, nil
+}
+
+// runBatchCell measures one grid point, best of repeat environments.
+func runBatchCell(sys System, mix string, batch, threads, iters, repeat int) (BatchCell, error) {
+	best := BatchCell{System: sys, Mix: mix, Batch: batch, Threads: threads}
+	for r := 0; r < repeat; r++ {
+		frames := framesFor(threads*batchChunks*batchChunkPages + 4096)
+		env, err := NewEnv(sys, threads, frames, nil)
+		if err != nil {
+			return best, err
+		}
+		if !batchSupports(env.Sys, mix) {
+			env.Close()
+			return best, fmt.Errorf("bench: %s does not support mix %s", sys, mix)
+		}
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			total   uint64
+			slowest time.Duration
+			werr    error
+		)
+		for th := 0; th < threads; th++ {
+			th := th
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pages, timed, err := runBatchWorker(env.Sys, mix, th, batch, iters)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && werr == nil {
+					werr = err
+				}
+				total += pages
+				if timed > slowest {
+					slowest = timed
+				}
+			}()
+		}
+		wg.Wait()
+		var st core.BatchStats
+		if ca, ok := env.Sys.(*core.AddrSpace); ok {
+			st = ca.BatchStats()
+		}
+		env.Close()
+		if werr != nil {
+			return best, werr
+		}
+		if pps := float64(total) / slowest.Seconds(); pps > best.PagesPerSec {
+			best.PagesPerSec = pps
+			best.Stats = st
+		}
+	}
+	return best, nil
+}
+
+// FigBatch runs the async-batch grid: batch size {1, 8, 64, 512} × op
+// mix {munmap-heavy, churn, madvise} × {1, 4} threads. batch=1 rows are
+// the one-op-per-call baseline and run on every modeled system (madvise
+// only where supported); batched rows run on the CortenMM systems,
+// whose submission ring coalesces the ops. The counter columns prove
+// the coalescing: at most one TLB fan-out per Submit, and the lock
+// protocol run once per merged range group instead of once per op.
+func FigBatch(o Options) ([]BatchCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# fig13-batch: async batched submission vs one-op-per-call (pages/sec)")
+	mixes := []string{"munmap-heavy", "churn", "madvise"}
+	sizes := []int{1, 8, 64, 512}
+	threadSweep := []int{1, 4}
+	var out []BatchCell
+	baseline := map[string]float64{}
+	key := func(sys System, mix string, threads int) string {
+		return fmt.Sprintf("%s/%s/%d", sys, mix, threads)
+	}
+	for _, mix := range mixes {
+		iters := o.iters(3)
+		for _, threads := range threadSweep {
+			// One-op-per-call baselines across the modeled systems.
+			for _, sys := range AllSystems {
+				if mix == "madvise" && sys != Linux && sys != CortenRW && sys != CortenAdv {
+					continue
+				}
+				if sys == NrOS {
+					continue // NrOS replicates eagerly; subrange churn is not its model
+				}
+				cell, err := runBatchCell(sys, mix, 1, threads, iters, o.Repeat)
+				if err != nil {
+					return nil, fmt.Errorf("batch %s/%s/b1/t%d: %w", sys, mix, threads, err)
+				}
+				cell.Speedup = 1
+				baseline[key(sys, mix, threads)] = cell.PagesPerSec
+				out = append(out, cell)
+				fmt.Fprintf(o.W, "batch mix=%-12s sys=%-10s threads=%d batch=%-4d pages/s=%-10.0f speedup=%.2f\n",
+					mix, sys, threads, 1, cell.PagesPerSec, 1.0)
+			}
+			// Batched submission on the CortenMM systems.
+			for _, sys := range []System{CortenRW, CortenAdv} {
+				for _, batch := range sizes[1:] {
+					cell, err := runBatchCell(sys, mix, batch, threads, iters, o.Repeat)
+					if err != nil {
+						return nil, fmt.Errorf("batch %s/%s/b%d/t%d: %w", sys, mix, batch, threads, err)
+					}
+					if b := baseline[key(sys, mix, threads)]; b > 0 {
+						cell.Speedup = cell.PagesPerSec / b
+					}
+					out = append(out, cell)
+					st := cell.Stats
+					fmt.Fprintf(o.W, "batch mix=%-12s sys=%-10s threads=%d batch=%-4d pages/s=%-10.0f speedup=%-5.2f groups=%-5d coalesced-locks=%-6d shootdowns=%-4d flushranges=%-5d coalesced-flushes=%-4d ringdepth=%d\n",
+						mix, sys, threads, batch, cell.PagesPerSec, cell.Speedup,
+						st.Groups, st.CoalescedLocks, st.Shootdowns, st.FlushRanges, st.CoalescedFlushes, st.MaxRingDepth)
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -23,6 +23,11 @@ type PressureCell struct {
 	SwapOuts     uint64
 	DirectRounds uint64
 	BgSweeps     uint64
+	// Async writeback-queue telemetry: writebacks submitted by reclaim
+	// sweeps, completions that succeeded, failures.
+	SwapQueued    uint64
+	SwapCompleted uint64
+	SwapFailed    uint64
 }
 
 // FigPressure measures how populate throughput degrades as free-frame
@@ -44,8 +49,9 @@ func FigPressure(o Options) ([]PressureCell, error) {
 				return nil, fmt.Errorf("pressure %s ratio=%.2f: %w", sys, ratio, err)
 			}
 			out = append(out, cell)
-			fmt.Fprintf(o.W, "pressure system=%-10s ratio=%.2f pages/s=%-10.0f swapouts=%-6d direct=%-5d bg=%d\n",
-				cell.System, cell.Ratio, cell.PagesPerSec, cell.SwapOuts, cell.DirectRounds, cell.BgSweeps)
+			fmt.Fprintf(o.W, "pressure system=%-10s ratio=%.2f pages/s=%-10.0f swapouts=%-6d direct=%-5d bg=%-4d swapq=%d/%d/%d\n",
+				cell.System, cell.Ratio, cell.PagesPerSec, cell.SwapOuts, cell.DirectRounds, cell.BgSweeps,
+				cell.SwapQueued, cell.SwapCompleted, cell.SwapFailed)
 		}
 	}
 	return out, nil
@@ -83,6 +89,9 @@ func pressurePoint(sys System, physFrames int, ratio float64, repeat int) (Press
 			st := rm.Stats()
 			best.DirectRounds = st.DirectRounds
 			best.BgSweeps = st.BgSweeps
+			best.SwapQueued = st.SwapQueued
+			best.SwapCompleted = st.SwapCompleted
+			best.SwapFailed = st.SwapFailed
 		}
 		a.Destroy(0)
 		m.Quiesce()

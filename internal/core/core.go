@@ -103,6 +103,10 @@ type AddrSpace struct {
 	// reclaimClock is the clock hand of the per-space reclaim scan
 	// (index into the sorted tracked ranges), guarded by fileMu.
 	reclaimClock int
+
+	// batch holds the async-batch pipeline's cumulative counters
+	// (see batch.go).
+	batch batchCounters
 }
 
 // txCounter is a cache-line padded per-core transaction counter.

@@ -91,6 +91,31 @@ var faultOps = []faultOp{
 		},
 	},
 	{
+		name: "batch",
+		setup: func(t *testing.T, a *AddrSpace) func() error {
+			return func() error {
+				// One coalesced batch: map+populate a region and unmap it
+				// again. Any injected failure must surface through a CQE
+				// and leave nothing behind (the failed mmap unwinds, the
+				// ring VA is recycled post-commit).
+				b := a.NewBatch(0)
+				va, err := b.Mmap(16*arch.PageSize, arch.PermRW, mm.FlagPopulate)
+				if err != nil {
+					return err
+				}
+				if err := b.Munmap(va, 16*arch.PageSize); err != nil {
+					return err
+				}
+				for _, cqe := range b.Submit() {
+					if cqe.Err != nil {
+						return cqe.Err
+					}
+				}
+				return nil
+			}
+		},
+	},
+	{
 		name: "reclaim",
 		swap: true,
 		setup: func(t *testing.T, a *AddrSpace) func() error {

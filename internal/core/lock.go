@@ -254,6 +254,14 @@ func (c *RCursor) Close() {
 		return
 	}
 	c.closed = true
+	c.releaseLocks()
+	c.shootAndFree()
+	c.recycle()
+}
+
+// releaseLocks drops every lock the transaction holds, in reverse
+// acquisition order.
+func (c *RCursor) releaseLocks() {
 	a := c.a
 	a.txDepth[c.core].n.Add(-1)
 	if a.proto == ProtocolRW {
@@ -268,17 +276,98 @@ func (c *RCursor) Close() {
 			}
 		}
 	}
-	c.shootAndFree()
-	if c.cached {
-		// Drop oversized scratch space before recycling the cursor.
-		if cap(c.locked) > 1024 {
-			c.locked = nil
-			c.readPath = nil
-			c.flush = nil
-			c.freed = nil
-		}
-		a.cursors[c.core].busy.Store(false)
+}
+
+// recycle returns a cache-backed cursor to its per-core slot.
+func (c *RCursor) recycle() {
+	if !c.cached {
+		return
 	}
+	// Drop oversized scratch space before recycling the cursor.
+	if cap(c.locked) > 1024 {
+		c.locked = nil
+		c.readPath = nil
+		c.flush = nil
+		c.freed = nil
+	}
+	c.a.cursors[c.core].busy.Store(false)
+}
+
+// deferredOps accumulates the deferred side effects of several
+// transactions so a batch can commit them all at once: one TLB fan-out
+// for every flush record of the batch instead of one per transaction,
+// and one RCU hand-off for every freed frame. The ordering argument is
+// the same as for a single transaction (shootdown before free); only
+// the fan-out moves later, which widens the remote-staleness window the
+// lazy-shootdown contract already permits — unless some transaction
+// demanded synchrony (needSync), in which case the whole commit is
+// synchronous and still completes before the batch returns.
+type deferredOps struct {
+	flush    []tlb.Range
+	flushAll bool
+	needSync bool
+	freed    []pfnRun
+	// txFlushed counts contributing transactions that carried at least
+	// one flush record — what one-op-per-call would have fanned out.
+	txFlushed int
+}
+
+// closeInto ends the transaction like Close but transfers its deferred
+// shootdown ranges and frame releases to d instead of performing them;
+// the caller owns committing d (AddrSpace.commitDeferred). Mid-walk
+// spills (maybeSpill) may already have fanned out part of a huge
+// transaction's work — that only costs an extra fan-out, never misses
+// one.
+func (c *RCursor) closeInto(d *deferredOps) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.releaseLocks()
+	if c.flushAll || len(c.flush) > 0 {
+		d.txFlushed++
+	}
+	d.flushAll = d.flushAll || c.flushAll
+	d.needSync = d.needSync || c.needSync
+	d.flush = append(d.flush, c.flush...)
+	d.freed = append(d.freed, c.freed...)
+	c.recycle()
+}
+
+// commitDeferred performs a batch's accumulated TLB invalidations as a
+// single fan-out and hands the freed frames to the RCU monitor — the
+// batch-commit half of closeInto. Returns the number of fan-out calls
+// emitted (0 or 1).
+func (a *AddrSpace) commitDeferred(core int, d *deferredOps) int {
+	emitted := 0
+	switch {
+	case d.flushAll:
+		emitted = 1
+		if d.needSync {
+			a.m.TLB.ShootdownAllSync(core, a.asid)
+		} else {
+			a.m.TLB.ShootdownAll(core, a.asid)
+		}
+	case len(d.flush) > 0:
+		emitted = 1
+		if d.needSync {
+			a.m.TLB.ShootdownRangesSync(core, a.asid, d.flush)
+		} else {
+			a.m.TLB.ShootdownRanges(core, a.asid, d.flush)
+		}
+	}
+	if len(d.freed) == 0 {
+		return emitted
+	}
+	freed := append([]pfnRun(nil), d.freed...)
+	a.m.RCU.Defer(func() {
+		for _, r := range freed {
+			for i := uint32(0); i < r.n; i++ {
+				a.m.Phys.Put(core, r.head+arch.PFN(i))
+			}
+		}
+	})
+	return emitted
 }
 
 // freedSpillRuns caps the deferred-free run list. A giant sparse unmap

@@ -75,6 +75,12 @@ type ReclaimManager struct {
 	reclaimed    atomic.Uint64
 	stolen       atomic.Uint64
 	oomKills     atomic.Uint64
+
+	// Writeback-queue telemetry, fed by the sweeps' per-sweep aio
+	// queues (see reclaimRangeNode).
+	swapQueued    atomic.Uint64
+	swapCompleted atomic.Uint64
+	swapFailed    atomic.Uint64
 }
 
 // ReclaimStats is a snapshot of manager activity.
@@ -86,6 +92,12 @@ type ReclaimStats struct {
 	// reclaim that had to look beyond the starved node's own frames.
 	Stolen   uint64
 	OOMKills uint64 // address spaces torn down
+	// Swap-writeback queue activity: writebacks submitted to (or refused
+	// by) the async io queue, completions that succeeded, and failures
+	// (refused submissions plus failed completions).
+	SwapQueued    uint64
+	SwapCompleted uint64
+	SwapFailed    uint64
 }
 
 // Stats snapshots the manager's counters.
@@ -96,6 +108,10 @@ func (rm *ReclaimManager) Stats() ReclaimStats {
 		Reclaimed:    rm.reclaimed.Load(),
 		Stolen:       rm.stolen.Load(),
 		OOMKills:     rm.oomKills.Load(),
+
+		SwapQueued:    rm.swapQueued.Load(),
+		SwapCompleted: rm.swapCompleted.Load(),
+		SwapFailed:    rm.swapFailed.Load(),
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cortenmm/internal/aio"
 	"cortenmm/internal/arch"
 	"cortenmm/internal/mem"
 	"cortenmm/internal/mm"
@@ -60,9 +61,25 @@ func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, targe
 	if err != nil {
 		return 0, err
 	}
-	reclaimed := 0
+	// Second pass selects cold candidates and submits their writebacks
+	// on a per-sweep async queue — all device I/O for the sweep is
+	// reaped in one batched completion pass instead of one synchronous
+	// round trip per page. The queue is sweep-local: two nodes' kswapd
+	// ticks may sweep the same space concurrently, and each must only
+	// reap its own completions.
+	type swapReq struct {
+		page  arch.Vaddr
+		perm  arch.Perm
+		key   arch.ProtKey
+		block uint64
+	}
+	var (
+		reqs     []swapReq
+		firstErr error
+	)
+	q := aio.NewQueue("swapq", mem.ErrOutOfMemory)
 	for _, r := range runs {
-		if reclaimed >= target {
+		if len(reqs) >= target || firstErr != nil {
 			break
 		}
 		if r.Accessed {
@@ -71,11 +88,11 @@ func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, targe
 			// stores suffice; the queued shootdown forces re-walks that
 			// will set them again.
 			if err := c.ClearAccessed(r.VA, r.End()); err != nil {
-				return reclaimed, err
+				return 0, err
 			}
 			continue
 		}
-		for i := uint64(0); i < r.Pages && reclaimed < target; i++ {
+		for i := uint64(0); i < r.Pages && len(reqs) < target; i++ {
 			page := r.VA + arch.Vaddr(i*arch.PageSize)
 			pfn := r.Status.Page + arch.PFN(i)
 			head := a.m.Phys.HeadOf(pfn)
@@ -86,29 +103,62 @@ func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, targe
 			if node >= 0 && a.m.Phys.FrameNode(pfn) != node {
 				continue
 			}
-			// Cold page: swap it out. A failed device write keeps the
-			// page resident — the frame is not reclaimed, nothing leaks.
+			// Cold page: queue its writeback. The frame stays mapped
+			// until the completion is reaped, so the data read at reap
+			// time is stable (we hold the covering lock).
 			block := a.swapDev.AllocBlock()
-			if err := a.swapDev.Write(block, a.m.Phys.DataPage(pfn)); err != nil {
-				a.swapDev.FreeBlock(block)
-				return reclaimed, err
-			}
-			if err := c.Unmap(page, page+arch.PageSize); err != nil {
-				a.swapDev.FreeBlock(block)
-				return reclaimed, err
-			}
-			err := c.Mark(page, page+arch.PageSize, pt.Status{
-				Kind: pt.StatusSwapped, Perm: r.Status.Perm, Dev: a.swapDev, Block: block, Key: r.Status.Key,
-			})
+			wpfn := pfn
+			err := q.Submit(aio.SQE{Tag: uint64(len(reqs)), Do: func() error {
+				return a.swapDev.Write(block, a.m.Phys.DataPage(wpfn))
+			}})
 			if err != nil {
+				// Refused submission: nothing was queued, the page simply
+				// stays resident. Stop growing the batch and report after
+				// reaping what was already submitted.
 				a.swapDev.FreeBlock(block)
-				return reclaimed, err
+				firstErr = err
+				break
 			}
-			a.stats.SwapOuts.Add(1)
-			reclaimed++
+			reqs = append(reqs, swapReq{page: page, perm: r.Status.Perm, key: r.Status.Key, block: block})
 		}
 	}
-	return reclaimed, nil
+
+	// One reap completes the whole batch; only pages whose write
+	// succeeded are unmapped and re-marked swapped. A failed completion
+	// frees its swap block and leaves its page resident — the frame is
+	// not reclaimed, nothing leaks, and the tree never names a block
+	// that was not written.
+	reclaimed := 0
+	for _, cqe := range q.Reap() {
+		req := reqs[cqe.Tag]
+		err := cqe.Err
+		if err == nil {
+			err = func() error {
+				if err := c.Unmap(req.page, req.page+arch.PageSize); err != nil {
+					return err
+				}
+				return c.Mark(req.page, req.page+arch.PageSize, pt.Status{
+					Kind: pt.StatusSwapped, Perm: req.perm, Dev: a.swapDev, Block: req.block, Key: req.key,
+				})
+			}()
+		}
+		if err != nil {
+			a.swapDev.FreeBlock(req.block)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		a.stats.SwapOuts.Add(1)
+		reclaimed++
+	}
+	if rm := a.reclaim; rm != nil {
+		st := q.Stats()
+		rm.swapQueued.Add(st.Submitted + st.Refused)
+		rm.swapCompleted.Add(st.Completed)
+		rm.swapFailed.Add(st.Failed + st.Refused)
+	}
+	return reclaimed, firstErr
 }
 
 // MadviseDontNeed implements mm.Madviser: release the physical pages of
@@ -129,6 +179,12 @@ func (a *AddrSpace) MadviseDontNeed(core int, va arch.Vaddr, size uint64) error 
 		return err
 	}
 	defer c.Close()
+	return a.madviseBody(c, va, va+arch.Vaddr(size))
+}
+
+// madviseBody is the transactional work of MadviseDontNeed under an
+// already-held cursor (shared with the batch layer).
+func (a *AddrSpace) madviseBody(c *RCursor, lo, hi arch.Vaddr) error {
 	c.needSync = true // dropped frames are reused immediately
 
 	// Collect resident runs first (the release mutates the tree), then
@@ -136,7 +192,7 @@ func (a *AddrSpace) MadviseDontNeed(core int, va arch.Vaddr, size uint64) error 
 	// restored statuses form one sliding sequence — a whole anonymous
 	// run costs two range operations instead of two per page.
 	var runs []Run
-	err = c.IterateMapped(va, va+arch.Vaddr(size), func(r Run) error {
+	err := c.IterateMapped(lo, hi, func(r Run) error {
 		runs = append(runs, r)
 		return nil
 	})

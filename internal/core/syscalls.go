@@ -68,6 +68,13 @@ func (a *AddrSpace) mmapAttempt(core int, va arch.Vaddr, size uint64, perm arch.
 		return err
 	}
 	defer c.Close()
+	return a.mmapBody(c, va, size, perm, fl, checkExists)
+}
+
+// mmapBody is the transactional work of an anonymous mmap under an
+// already-held cursor (the batch layer shares it; the cursor may cover
+// a wider coalesced range). It fully unwinds on failure.
+func (a *AddrSpace) mmapBody(c *RCursor, va arch.Vaddr, size uint64, perm arch.Perm, fl mm.Flags, checkExists bool) error {
 	if checkExists {
 		used, err := c.AnyAllocated(va, va+arch.Vaddr(size))
 		if err != nil {
@@ -167,12 +174,20 @@ func (a *AddrSpace) Munmap(core int, va arch.Vaddr, size uint64) error {
 	if err != nil {
 		return err
 	}
+	a.munmapFinish(core, va, size)
+	return nil
+}
+
+// munmapFinish is the non-MMU bookkeeping tail of a successful unmap:
+// retire reverse-mapping records and recycle an exactly-matching
+// allocator-handed VA range. Shared with the batch layer, which runs it
+// after batch commit.
+func (a *AddrSpace) munmapFinish(core int, va arch.Vaddr, size uint64) {
 	a.pruneFileMappings(va, va+arch.Vaddr(size))
 	if sz, ok := a.trackedVA(va); ok && sz == size {
 		a.untrackVA(va)
 		a.valloc.Free(core, va, size)
 	}
-	return nil
 }
 
 // Mprotect implements mm.MM.
@@ -205,10 +220,16 @@ func (a *AddrSpace) Msync(core int, va arch.Vaddr, size uint64) error {
 		return err
 	}
 	defer c.Close()
-	// One pass over the locked subtree, resident pages only (metadata
-	// entries have nothing to write back); runs carry the hardware D
-	// bit, so only dirty shared runs cost per-page descriptor work.
-	return c.IterateMapped(va, va+arch.Vaddr(size), func(r Run) error {
+	return a.msyncBody(c, va, va+arch.Vaddr(size))
+}
+
+// msyncBody writes back dirty shared file pages of [lo, hi) under an
+// already-held cursor (shared with the batch layer). One pass over the
+// locked subtree, resident pages only (metadata entries have nothing to
+// write back); runs carry the hardware D bit, so only dirty shared runs
+// cost per-page descriptor work.
+func (a *AddrSpace) msyncBody(c *RCursor, lo, hi arch.Vaddr) error {
+	return c.IterateMapped(lo, hi, func(r Run) error {
 		if r.Status.Perm&arch.PermShared == 0 || !r.Dirty {
 			return nil
 		}
@@ -220,6 +241,30 @@ func (a *AddrSpace) Msync(core int, va arch.Vaddr, size uint64) error {
 			}
 		}
 		return nil
+	})
+}
+
+// PopulateRange pre-faults the anonymous pages of [va, va+size) in one
+// transaction — the standalone form of mmap's FlagPopulate, and the
+// sequential twin of the batch layer's populate op. Already-resident
+// pages are left alone.
+func (a *AddrSpace) PopulateRange(core int, va arch.Vaddr, size uint64) error {
+	if err := a.checkAlive(); err != nil {
+		return err
+	}
+	t0 := a.kernelEnter()
+	defer a.kernelExit(t0)
+	if err := arch.CheckCanonical(va, size); err != nil {
+		return fmt.Errorf("%w: %v", mm.ErrBadRange, err)
+	}
+	a.m.OpTick(core)
+	return a.retryOOM(core, func() error {
+		c, err := a.Lock(core, va, va+arch.Vaddr(size))
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		return c.PopulateAnon(va, va+arch.Vaddr(size))
 	})
 }
 

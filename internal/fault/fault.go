@@ -56,6 +56,12 @@ var (
 	// TLBShootdownDelay yields the delivering goroutine mid-shootdown,
 	// widening the remote-staleness window instead of failing.
 	TLBShootdownDelay = New("tlb.shootdown-delay")
+	// AIOSubmit refuses an aio.Queue submission — the SQE is never
+	// queued, so the op's side effects must not have happened yet.
+	AIOSubmit = New("aio.submit")
+	// AIOComplete fails a queued aio request at reap time, after the
+	// submission succeeded — the batched-completion unwind path.
+	AIOComplete = New("aio.complete")
 )
 
 // New registers a named site. Call once per site, at package init.

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"cortenmm/internal/arch"
@@ -94,24 +95,94 @@ func NewPhysMemNUMA(nframes, cores, nodes int, coreNode []int) *PhysMem {
 	for pfn := range m.frames {
 		m.frames[pfn].Node = int32(m.zoneOf(arch.PFN(pfn)))
 	}
-	// Zonelists: local zone first, then the others by increasing node
-	// distance (ties toward lower node IDs) — the fallback walk order.
-	m.zonelists = make([][]int, nodes)
-	for n := range m.zonelists {
-		list := make([]int, 0, nodes)
-		list = append(list, n)
-		for d := 1; d < nodes; d++ {
-			if n-d >= 0 {
-				list = append(list, n-d)
-			}
-			if n+d < nodes {
-				list = append(list, n+d)
-			}
-		}
-		m.zonelists[n] = list
-	}
+	// Zonelists are derived from the node-distance table: local zone
+	// first, then the others by increasing distance (ties toward lower
+	// node IDs) — the fallback walk order. The default table models a
+	// flat linear interconnect, which reproduces the classic ID-order
+	// fallback; SetDistanceTable installs measured topologies.
+	m.distance = DefaultDistanceTable(nodes)
+	m.rebuildZonelists()
 	m.allocStats = make([]nodeAllocCounters, nodes)
 	return m
+}
+
+// DefaultDistanceTable is the ACPI SLIT-style table for a flat linear
+// interconnect: 10 on the diagonal (intra-node), 20 for neighbours and
+// 10 more per additional hop.
+func DefaultDistanceTable(nodes int) [][]int {
+	d := make([][]int, nodes)
+	for a := range d {
+		d[a] = make([]int, nodes)
+		for b := range d[a] {
+			hops := a - b
+			if hops < 0 {
+				hops = -hops
+			}
+			d[a][b] = 10 + 10*hops
+		}
+	}
+	return d
+}
+
+// SetDistanceTable installs a node-distance table (dimensions must be
+// Nodes()×Nodes(), diagonal entries the minimum of their row) and
+// rebuilds every node's zonelist to walk zones in increasing-distance
+// order. Setup-time only: it must not race with allocations.
+func (m *PhysMem) SetDistanceTable(d [][]int) {
+	nodes := len(m.zones)
+	if len(d) != nodes {
+		panic("mem: distance table dimension mismatch")
+	}
+	cp := make([][]int, nodes)
+	for a := range d {
+		if len(d[a]) != nodes {
+			panic("mem: distance table dimension mismatch")
+		}
+		for _, dist := range d[a] {
+			if dist < d[a][a] {
+				panic("mem: remote distance below intra-node distance")
+			}
+		}
+		cp[a] = append([]int(nil), d[a]...)
+	}
+	m.distance = cp
+	m.rebuildZonelists()
+}
+
+// NodeDistance reports the table distance from node a to node b's
+// memory.
+func (m *PhysMem) NodeDistance(a, b int) int { return m.distance[a][b] }
+
+// Zonelist returns a copy of node's fallback walk order (the node
+// itself first).
+func (m *PhysMem) Zonelist(node int) []int {
+	return append([]int(nil), m.zonelists[node]...)
+}
+
+// rebuildZonelists recomputes every node's fallback order from the
+// distance table: increasing distance, ties toward lower node IDs, the
+// home node always first (its diagonal entry is the row minimum).
+func (m *PhysMem) rebuildZonelists() {
+	nodes := len(m.zones)
+	m.zonelists = make([][]int, nodes)
+	for n := range m.zonelists {
+		list := make([]int, nodes)
+		for i := range list {
+			list[i] = i
+		}
+		row := m.distance[n]
+		sort.SliceStable(list, func(x, y int) bool {
+			a, b := list[x], list[y]
+			if a == n || b == n {
+				return a == n && b != n
+			}
+			if row[a] != row[b] {
+				return row[a] < row[b]
+			}
+			return a < b
+		})
+		m.zonelists[n] = list
+	}
 }
 
 // nodeAllocCounters track allocation locality per requesting node,

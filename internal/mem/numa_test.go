@@ -291,3 +291,91 @@ func TestAuditCatchesZoneSkew(t *testing.T) {
 		t.Errorf("no zone-level problem reported:\n%s", rep.String())
 	}
 }
+
+// TestDefaultZonelistDistanceOrder pins the derived fallback order on
+// the default (flat linear) distance table: home node first, then
+// increasing distance with ties toward lower IDs — the same order the
+// pre-distance-table ID walk produced.
+func TestDefaultZonelistDistanceOrder(t *testing.T) {
+	m := NewPhysMemNUMA(1<<14, 8, 4, clusterNodes(8, 4))
+	want := map[int][]int{
+		0: {0, 1, 2, 3},
+		1: {1, 0, 2, 3},
+		2: {2, 1, 3, 0},
+		3: {3, 2, 1, 0},
+	}
+	for n := 0; n < 4; n++ {
+		got := m.Zonelist(n)
+		for i := range got {
+			if got[i] != want[n][i] {
+				t.Fatalf("node %d zonelist = %v, want %v", n, got, want[n])
+			}
+		}
+	}
+	if d := m.NodeDistance(0, 0); d != 10 {
+		t.Errorf("intra-node distance = %d, want 10", d)
+	}
+	if d := m.NodeDistance(0, 2); d != 30 {
+		t.Errorf("two-hop distance = %d, want 30", d)
+	}
+}
+
+// TestDistanceWeightedFallback installs a measured topology where node 3
+// is node 0's nearest neighbour (e.g. the adjacent socket on a ring) and
+// checks that exhausting node 0 spills onto node 3 — not the ID-order
+// pick, node 1.
+func TestDistanceWeightedFallback(t *testing.T) {
+	const (
+		frames = 1 << 13
+		cores  = 4
+		nodes  = 4
+	)
+	m := NewPhysMemNUMA(frames, cores, nodes, clusterNodes(cores, nodes))
+	m.SetDistanceTable([][]int{
+		{10, 32, 40, 12},
+		{32, 10, 12, 40},
+		{40, 12, 10, 32},
+		{12, 40, 32, 10},
+	})
+	if got := m.Zonelist(0); got[0] != 0 || got[1] != 3 || got[2] != 1 || got[3] != 2 {
+		t.Fatalf("node 0 zonelist = %v, want [0 3 1 2]", got)
+	}
+
+	// Exhaust node 0's zone from a node-0 core, then keep allocating:
+	// every spilled frame must come from the nearest node, 3.
+	var held []arch.PFN
+	node0 := int(m.NodeFreeFrames(0))
+	for i := 0; i < node0; i++ {
+		pfn, err := m.AllocFrame(0, KindAnon)
+		if err != nil {
+			t.Fatalf("draining node 0: %v", err)
+		}
+		held = append(held, pfn)
+	}
+	for i := 0; i < 128; i++ {
+		pfn, err := m.AllocFrame(0, KindAnon)
+		if err != nil {
+			t.Fatalf("fallback alloc %d: %v", i, err)
+		}
+		if n := m.FrameNode(pfn); n != 3 && n != 0 {
+			t.Fatalf("fallback frame %#x came from node %d, want nearest node 3", pfn, n)
+		}
+		held = append(held, pfn)
+	}
+	spilled := 0
+	for _, pfn := range held {
+		if m.FrameNode(pfn) == 3 {
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("no frames spilled to the nearest node")
+	}
+	for _, pfn := range held {
+		m.Put(0, pfn)
+	}
+	m.DrainPCP()
+	if rep := m.Audit(); !rep.Ok() {
+		t.Fatalf("%s", rep.String())
+	}
+}

@@ -133,8 +133,13 @@ type PhysMem struct {
 	zoneSize int
 	// coreNodes maps each core to its home node.
 	coreNodes []int
-	// zonelists[n] is node n's fallback walk order (local first).
-	zonelists  [][]int
+	// zonelists[n] is node n's fallback walk order (local first, then
+	// by increasing node distance).
+	zonelists [][]int
+	// distance is the SLIT-style node-distance table driving zonelist
+	// order; distance[a][b] is the cost of node a reaching node b's
+	// memory (10 intra-node, 20+ across the interconnect).
+	distance   [][]int
 	allocStats []nodeAllocCounters
 	policy     atomic.Pointer[AllocPolicy]
 	pcp        []pcpCache
