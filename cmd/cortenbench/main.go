@@ -25,9 +25,10 @@ func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (all, 1, 2, 13, 14, ...)")
 	threads := flag.String("threads", "", "comma-separated thread sweep (default 1,2,...,GOMAXPROCS-based)")
 	scale := flag.Float64("scale", 1.0, "iteration-count multiplier (higher = slower, more stable)")
+	quick := flag.Bool("quick", false, "shrink grids to their CI smoke subset")
 	flag.Parse()
 
-	o := bench.Options{Scale: *scale, W: os.Stdout}
+	o := bench.Options{Scale: *scale, Quick: *quick, W: os.Stdout}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -65,6 +66,7 @@ func main() {
 		{"pressure", func(o bench.Options) error { _, err := bench.FigPressure(o); return err }},
 		{"batch", func(o bench.Options) error { _, err := bench.FigBatch(o); return err }},
 		{"numa", func(o bench.Options) error { _, err := bench.FigNuma(o); return err }},
+		{"tenant", func(o bench.Options) error { _, err := bench.FigTenant(o); return err }},
 		{"ablate", bench.Ablations},
 	}
 

@@ -107,6 +107,9 @@ type Options struct {
 	// Repeat runs each cell this many times and keeps the best —
 	// cheap insurance against scheduler noise (default 3).
 	Repeat int
+	// Quick shrinks grids to their CI smoke subset (currently only
+	// FigTenant honours it).
+	Quick bool
 	// W receives the printed rows.
 	W io.Writer
 }

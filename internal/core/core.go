@@ -100,6 +100,10 @@ type AddrSpace struct {
 	// oomKilled marks a space torn down by the OOM killer: allocating
 	// syscalls fail fast with ErrOOMKilled, releases still work.
 	oomKilled atomic.Bool
+	// destroyed makes Destroy exactly-once (the ASID free must not
+	// double) and lets the reclaim sweeps refuse a space whose tree has
+	// already been torn down.
+	destroyed atomic.Bool
 	// reclaimClock is the clock hand of the per-space reclaim scan
 	// (index into the sorted tracked ranges), guarded by fileMu.
 	reclaimClock int

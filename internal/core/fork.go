@@ -146,8 +146,28 @@ func (a *AddrSpace) forkCopy(core int, c *RCursor, child *AddrSpace, src, dst ar
 // exclusive by contract (the "process" has exited), so it walks the
 // tree directly instead of paying for a whole-space transaction —
 // exactly what exit/exec does in the paper's evaluation (§6.2).
+// Idempotent. The space is unregistered from its reclaim manager first,
+// so no later sweep or OOM victim scan can walk the torn-down tree.
+//
+// With ASID recycling (the machine default), teardown issues no TLB
+// shootdown at all: the dead translations are unreachable (no lookup
+// ever uses this ASID again) and the allocator's rollover flushes every
+// core before the slot is reissued — recycle-implies-flushed. That is
+// the whole point of the bounded allocator: thousands of short-lived
+// spaces stop paying an all-core fan-out each, and stop conservatively
+// killing 1/64 of every other space's TLB fills per teardown. In
+// monotonic compat mode the eager flush-all is still required, because
+// nothing else ever invalidates the dead entries' epoch cells.
 func (a *AddrSpace) Destroy(core int) {
-	a.m.TLB.ShootdownAllSync(core, a.asid)
+	if !a.destroyed.CompareAndSwap(false, true) {
+		return
+	}
+	if rm := a.reclaim; rm != nil {
+		rm.Unregister(a)
+	}
+	if !a.m.ASIDRecycling() {
+		a.m.TLB.ShootdownAllSync(core, a.asid)
+	}
 	a.dropFileMappings()
 	a.tree.Destroy(core,
 		func(pte uint64, level int) {
@@ -160,6 +180,10 @@ func (a *AddrSpace) Destroy(core int) {
 				s.Dev.FreeBlock(s.Block)
 			}
 		})
+	a.fileMu.Lock()
+	a.vaSizes = make(map[arch.Vaddr]uint64)
+	a.fileMu.Unlock()
+	a.m.FreeASID(a.asid)
 }
 
 // RMapUnmap implements mem.RMapTarget: unmap every mapping of the given

@@ -152,6 +152,13 @@ func (rm *ReclaimManager) Register(a *AddrSpace) {
 	a.reclaim = rm
 }
 
+// Registered reports how many spaces are on the reclaim clock.
+func (rm *ReclaimManager) Registered() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.spaces)
+}
+
 // Unregister removes a from the reclaim clock.
 func (rm *ReclaimManager) Unregister(a *AddrSpace) {
 	rm.mu.Lock()
@@ -302,7 +309,7 @@ func (rm *ReclaimManager) sweep(core, node, target int) int {
 		if total >= target {
 			break
 		}
-		if a.swapDev == nil || a.oomKilled.Load() || a.txDepth[core].n.Load() > 0 {
+		if a.swapDev == nil || a.oomKilled.Load() || a.destroyed.Load() || a.txDepth[core].n.Load() > 0 {
 			continue
 		}
 		total += a.reclaimSome(core, node, target-total)
@@ -322,7 +329,7 @@ func (rm *ReclaimManager) oomKill(core int) int {
 	var victim *AddrSpace
 	var worst uint64
 	for _, a := range rm.snapshot(rm.m.NodeOf(core)) {
-		if a.oomKilled.Load() || a.txDepth[core].n.Load() > 0 {
+		if a.oomKilled.Load() || a.destroyed.Load() || a.txDepth[core].n.Load() > 0 {
 			continue
 		}
 		if sz := a.virtualSize(); sz > worst {
@@ -396,12 +403,17 @@ func (a *AddrSpace) reclaimSome(core, node, target int) int {
 }
 
 // oomTeardown is the last-resort unwind: mark the space killed (new
-// allocating syscalls fail with ErrOOMKilled) and unmap every tracked
-// range, releasing its frames and swap blocks. Returns the number of
-// virtual pages released. Idempotent.
+// allocating syscalls fail with ErrOOMKilled), drop it from the reclaim
+// clock — sweeps must not keep walking a space that is mid-unwind, and
+// the killed space can contribute nothing further anyway — and unmap
+// every tracked range, releasing its frames and swap blocks. Returns
+// the number of virtual pages released. Idempotent.
 func (a *AddrSpace) oomTeardown(core int) int {
 	if !a.oomKilled.CompareAndSwap(false, true) {
 		return 0
+	}
+	if rm := a.reclaim; rm != nil {
+		rm.Unregister(a)
 	}
 	released := 0
 	for _, r := range a.trackedRanges() {

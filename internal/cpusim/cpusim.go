@@ -31,6 +31,14 @@ type Config struct {
 	// TickEvery fires the per-core timer every N OpTick events
 	// (default 64).
 	TickEvery int
+	// MonotonicASID restores the unbounded monotonically increasing
+	// ASID allocator: every space gets a fresh identifier, FreeASID is
+	// a no-op, and teardown must flush the whole machine itself. It
+	// exists as the compat/ablation knob for measuring what generation
+	// recycling buys — thousands of sequential ASIDs alias onto the
+	// TLB's 64 epoch cells and every teardown's flush-all conservatively
+	// kills ~1/64 of every other space's fills per core.
+	MonotonicASID bool
 }
 
 // Machine bundles the hardware substrates of one simulated system.
@@ -49,7 +57,7 @@ type Machine struct {
 
 	tickEvery int
 	ticks     []tickState
-	nextASID  atomic.Uint32
+	asids     asidState
 	// tickHook is an optional callback run at each timer tick after the
 	// LATR sweep and RCU poll — the core layer hangs kswapd-style
 	// background reclaim off it. It runs on the ticking core's
@@ -93,7 +101,7 @@ func New(cfg Config) *Machine {
 		nodeOf[c] = n
 		nodeCores[n] = append(nodeCores[n], c)
 	}
-	return &Machine{
+	m := &Machine{
 		Cores:     cfg.Cores,
 		NUMANodes: cfg.NUMANodes,
 		Phys:      mem.NewPhysMemNUMA(cfg.Frames, cfg.Cores, cfg.NUMANodes, nodeOf),
@@ -104,6 +112,10 @@ func New(cfg Config) *Machine {
 		tickEvery: cfg.TickEvery,
 		ticks:     make([]tickState, cfg.Cores),
 	}
+	m.asids.monotonic = cfg.MonotonicASID
+	m.asids.gen = 1
+	m.asids.fresh = 1 // slot 0 is reserved, like arm64's init_mm ASID
+	return m
 }
 
 // NodeOf returns the NUMA node of a core.
@@ -113,8 +125,131 @@ func (m *Machine) NodeOf(core int) int { return m.nodeOf[core] }
 // The returned slice is shared; callers must not mutate it.
 func (m *Machine) NodeCores(node int) []int { return m.nodeCores[node] }
 
-// AllocASID hands out a fresh address-space identifier.
-func (m *Machine) AllocASID() tlb.ASID { return tlb.ASID(m.nextASID.Add(1)) }
+// HWASIDs is the hardware address-space-identifier space: TLB tags carry
+// an 8-bit ASID, as on pre-ASID16 arm64 parts, so at most HWASIDs-1
+// spaces can be live at once (slot 0 is reserved). Identifiers above the
+// slot space exist only in MonotonicASID compat mode.
+const HWASIDs = 256
+
+// asidState is the generation-recycling ASID allocator (modelled on
+// arm64's check_and_switch_context rollover). Slots are handed out from
+// a never-used pool first; freed slots are quarantined on the current
+// generation's freed list and become reusable only after the next
+// rollover, which flushes every translation on every core before any
+// quarantined slot is reissued. That ordering is the allocator's one
+// load-bearing invariant — recycle-implies-flushed: a recycled ASID can
+// never hit a dead space's translations, even if the dead space's
+// teardown issued no TLB invalidation at all. Teardown therefore skips
+// the all-core shootdown entirely when recycling is on (see the space
+// Destroy implementations), which is what keeps thousands of short-lived
+// spaces from poisoning the shared epoch cells.
+type asidState struct {
+	mu        sync.Mutex
+	monotonic bool
+	next      uint32 // monotonic-mode counter
+	gen       uint32 // current generation, bumped at each rollover
+	fresh     uint32 // next never-handed-out slot
+	live      [HWASIDs]bool
+	nLive     int
+	freed     []uint16 // freed this generation: reuse quarantined until rollover
+	avail     []uint16 // freed before the last rollover: flushed, reusable
+	rollovers uint64
+}
+
+// take pops a reusable slot: the flushed avail pool first (bounding how
+// long dead translations linger), then the never-used pool.
+func (s *asidState) take() (uint16, bool) {
+	if n := len(s.avail); n > 0 {
+		slot := s.avail[n-1]
+		s.avail = s.avail[:n-1]
+		return slot, true
+	}
+	if s.fresh < HWASIDs {
+		slot := uint16(s.fresh)
+		s.fresh++
+		return slot, true
+	}
+	return 0, false
+}
+
+// AllocASID hands out an address-space identifier. With recycling (the
+// default) it returns a hardware slot in [1, HWASIDs); on exhaustion it
+// rolls the generation: flush every core of every translation, then — and
+// only then — recirculate the slots freed since the previous rollover.
+// Panics if more than HWASIDs-1 spaces are live at once (the simulated
+// hardware has nowhere to put them; real kernels block the allocating
+// task instead).
+func (m *Machine) AllocASID() tlb.ASID {
+	s := &m.asids
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.monotonic {
+		s.next++
+		return tlb.ASID(s.next)
+	}
+	slot, ok := s.take()
+	if !ok {
+		if len(s.freed) == 0 {
+			panic(fmt.Sprintf("cpusim: ASID space exhausted: %d live address spaces >= %d hardware slots", s.nLive, HWASIDs-1))
+		}
+		// Rollover. The flush-all must complete before any quarantined
+		// slot is reissued: after it, no core's TLB holds any
+		// translation, so whatever a dead predecessor left behind under
+		// a recycled slot is gone. Callers holding s.mu keep allocation
+		// and the flush atomic with respect to other allocators.
+		m.TLB.FlushAllASIDs()
+		s.gen++
+		s.rollovers++
+		s.avail = append(s.avail[:0], s.freed...)
+		s.freed = s.freed[:0]
+		slot, _ = s.take()
+	}
+	s.live[slot] = true
+	s.nLive++
+	return tlb.ASID(slot)
+}
+
+// FreeASID returns an identifier after its space's teardown. The slot is
+// quarantined until the next generation rollover; it is never reissued
+// before a machine-wide flush. No-op in MonotonicASID mode. Panics on a
+// double free or an identifier this allocator never issued.
+func (m *Machine) FreeASID(asid tlb.ASID) {
+	s := &m.asids
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.monotonic {
+		return
+	}
+	slot := uint32(asid)
+	if slot == 0 || slot >= HWASIDs || !s.live[slot] {
+		panic(fmt.Sprintf("cpusim: FreeASID(%d): not a live ASID", asid))
+	}
+	s.live[slot] = false
+	s.nLive--
+	s.freed = append(s.freed, uint16(slot))
+}
+
+// ASIDRecycling reports whether the bounded recycling allocator is
+// active (false in MonotonicASID compat mode). Space teardowns consult
+// it: with recycling on they may skip the all-core teardown shootdown,
+// because recycle-implies-flushed makes the dead translations
+// unreachable until the rollover flush.
+func (m *Machine) ASIDRecycling() bool { return !m.asids.monotonic }
+
+// ASIDStats is a snapshot of allocator activity.
+type ASIDStats struct {
+	Live       int    // currently live identifiers
+	Generation uint32 // current generation (1 + rollovers)
+	Rollovers  uint64 // generation rollovers (each one machine-wide flush)
+}
+
+// ASIDStats snapshots the ASID allocator.
+func (m *Machine) ASIDStats() ASIDStats {
+	s := &m.asids
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ASIDStats{Live: s.nLive, Generation: s.gen, Rollovers: s.rollovers}
+}
 
 // Run executes fn concurrently on cores 0..n-1 and waits for all of
 // them, the harness for every multithreaded workload.

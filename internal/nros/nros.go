@@ -77,6 +77,7 @@ type Space struct {
 	m    *cpusim.Machine
 	isa  arch.ISA
 	asid tlb.ASID
+	dead atomic.Bool // Destroy ran: the ASID has been freed
 
 	log      opLog
 	replicas []*replica
@@ -335,8 +336,14 @@ func (s *Space) translate(core int, va arch.Vaddr, acc pt.Access) (pt.Translatio
 	}
 }
 
-// Destroy implements mm.MM.
+// Destroy implements mm.MM. Idempotent; flushes eagerly only in
+// monotonic compat mode (with recycling the allocator's rollover flush
+// covers the dead translations before the slot is reissued) and returns
+// the ASID, which this baseline previously leaked on every teardown.
 func (s *Space) Destroy(core int) {
+	if !s.dead.CompareAndSwap(false, true) {
+		return
+	}
 	// Bring every replica to the log tail so pending unmap frees run,
 	// then free each replica; the first replica releases the shared
 	// data frames, the rest only their PT pages.
@@ -354,7 +361,10 @@ func (s *Space) Destroy(core int) {
 		r.mu.Unlock()
 	}
 	s.replicas = nil
-	s.m.TLB.ShootdownAllSync(core, s.asid)
+	if !s.m.ASIDRecycling() {
+		s.m.TLB.ShootdownAllSync(core, s.asid)
+	}
+	s.m.FreeASID(s.asid)
 }
 
 func (s *Space) setLeaf(core int, t *pt.Tree, va arch.Vaddr, frame arch.PFN, perm arch.Perm) error {

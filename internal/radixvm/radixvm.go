@@ -49,6 +49,7 @@ type Space struct {
 	m    *cpusim.Machine
 	isa  arch.ISA
 	asid tlb.ASID
+	dead atomic.Bool // Destroy ran: the ASID has been freed
 
 	shards   []shard
 	replicas []*replica
@@ -396,8 +397,14 @@ func (s *Space) clearLeaf(t *pt.Tree, va arch.Vaddr) {
 	}
 }
 
-// Destroy implements mm.MM.
+// Destroy implements mm.MM. Idempotent; flushes eagerly only in
+// monotonic compat mode (with recycling the allocator's rollover flush
+// covers the dead translations before the slot is reissued) and returns
+// the ASID, which this baseline previously leaked on every teardown.
 func (s *Space) Destroy(core int) {
+	if !s.dead.CompareAndSwap(false, true) {
+		return
+	}
 	// Free mapped frames via the shards (each mapping holds the base
 	// reference; replica PTEs hold one more each).
 	for i := range s.shards {
@@ -419,7 +426,10 @@ func (s *Space) Destroy(core int) {
 		r.mu.Unlock()
 	}
 	s.replicas = nil
-	s.m.TLB.ShootdownAllSync(core, s.asid)
+	if !s.m.ASIDRecycling() {
+		s.m.TLB.ShootdownAllSync(core, s.asid)
+	}
+	s.m.FreeASID(s.asid)
 }
 
 // PTBytes reports the total page-table bytes across all replicas — the

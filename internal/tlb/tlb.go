@@ -100,9 +100,10 @@ type coreStats struct {
 	genBumps   atomic.Uint64 // epoch-cell generation bumps issued
 	evictions  atomic.Uint64 // valid entries displaced by capacity replacement
 	staleDrops atomic.Uint64 // entries discarded by lazy generation checks
+	crossDrops atomic.Uint64 // stale drops caused by another ASID's full flush (cell aliasing)
 	hugeHits   atomic.Uint64 // lookups served by the huge-entry array
 	hugeEvicts atomic.Uint64 // huge entries displaced by capacity replacement
-	_          [48]byte
+	_          [40]byte
 }
 
 // coreTLB is one core's cache, epoch cells and shootdown mailboxes.
@@ -176,6 +177,10 @@ type Machine struct {
 	nodeOf    []int
 	nodeCores [][]int
 	nodeStats []nodeShootStats
+
+	// fullFlushes counts machine-wide FlushAllASIDs events (ASID
+	// generation rollovers).
+	fullFlushes atomic.Uint64
 }
 
 // NewMachine creates TLBs for the given core count and protocol on a
@@ -276,9 +281,12 @@ func (m *Machine) Lookup(core int, asid ASID, va arch.Vaddr) (pt.Translation, bo
 		}
 		if cur := cell.gen.Load(); sgen != cur {
 			c.genChecks.Add(1)
-			cur, live := cell.validate(asid, va, va+arch.PageSize, sgen)
+			cur, live, cross := cell.validate(asid, va, va+arch.PageSize, sgen)
 			if !live {
 				c.stats.staleDrops.Add(1)
+				if cross {
+					c.stats.crossDrops.Add(1)
+				}
 				s.clear(seq)
 				continue
 			}
@@ -310,9 +318,12 @@ func (c *coreTLB) lookupHuge(cell *epochCell, asid ASID, va arch.Vaddr) (pt.Tran
 			}
 			if cur := cell.gen.Load(); sgen != cur {
 				c.genChecks.Add(1)
-				cur, live := cell.validate(asid, base, base+span, sgen)
+				cur, live, cross := cell.validate(asid, base, base+span, sgen)
 				if !live {
 					c.stats.staleDrops.Add(1)
+					if cross {
+						c.stats.crossDrops.Add(1)
+					}
 					s.clear(seq)
 					continue
 				}
@@ -419,6 +430,26 @@ func (m *Machine) FlushLocalRange(core int, asid ASID, lo, hi arch.Vaddr) {
 func (m *Machine) FlushLocalAll(core int, asid ASID) {
 	c := &m.cores[core]
 	c.invalidateLocal(Invalidation{ASID: asid, All: true})
+}
+
+// FlushAllASIDs invalidates every translation of every ASID on every
+// core — the ASID generation-rollover flush. One full-ASID bump per
+// epoch cell suffices: validate's allGen early-out rejects every fill
+// published at or before the bump regardless of its ASID, and the
+// recAll record resets each cell's overflow history and presence
+// filter. Records tagged ASID 0 (the reserved slot) mark the kills as
+// allocator-driven; any core may issue the bumps, so the caller needs
+// no core identity. Invalidations still queued in early-ack inboxes or
+// LATR buffers are left in place: applying one later only re-kills
+// entries conservatively, which is always legal.
+func (m *Machine) FlushAllASIDs() {
+	m.fullFlushes.Add(1)
+	for i := range m.cores {
+		c := &m.cores[i]
+		for j := range c.cells {
+			c.cells[j].bump(0, 0, arch.MaxVaddr, true)
+		}
+	}
 }
 
 // Adaptive precise-vs-bump cutover. A local invalidation at or below
@@ -872,8 +903,17 @@ type Stats struct {
 	GenBumps   uint64 // epoch-cell generation bumps
 	Evictions  uint64 // capacity evictions of valid entries
 	StaleDrops uint64 // entries lazily discarded by generation checks
-	HugeHits   uint64 // lookups served by the huge-entry array
-	HugeEvicts uint64 // huge entries displaced by capacity replacement
+	// CrossKills counts stale drops whose killing record was a full-ASID
+	// flush of a *different* ASID sharing the epoch cell — conservative
+	// kills caused purely by asid-mod-64 aliasing. An unbounded ASID
+	// allocator under address-space churn drives this up linearly with
+	// teardowns; generation recycling bounds it to the rollover flushes.
+	CrossKills uint64
+	// FullFlushes counts machine-wide FlushAllASIDs events (generation
+	// rollovers of the ASID allocator).
+	FullFlushes uint64
+	HugeHits    uint64 // lookups served by the huge-entry array
+	HugeEvicts  uint64 // huge entries displaced by capacity replacement
 	// ClusterIPIs counts node-granular IPI broadcasts: one per target
 	// node with at least one non-filtered core per fan-out event. On a
 	// single node this equals the number of fan-out events that
@@ -911,6 +951,7 @@ func (m *Machine) Stats() Stats {
 		out.GenBumps += st.genBumps.Load()
 		out.Evictions += st.evictions.Load()
 		out.StaleDrops += st.staleDrops.Load()
+		out.CrossKills += st.crossDrops.Load()
 		out.HugeHits += st.hugeHits.Load()
 		out.HugeEvicts += st.hugeEvicts.Load()
 		lim := m.cores[i].precLimit.Load()
@@ -928,6 +969,7 @@ func (m *Machine) Stats() Stats {
 	for n := range m.nodeStats {
 		out.ClusterIPIs += m.nodeStats[n].clusterIPIs.Load()
 	}
+	out.FullFlushes = m.fullFlushes.Load()
 	return out
 }
 

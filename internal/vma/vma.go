@@ -31,6 +31,7 @@ type Space struct {
 	m    *cpusim.Machine
 	isa  arch.ISA
 	asid tlb.ASID
+	dead atomic.Bool // Destroy ran: the ASID has been freed
 	tree *pt.Tree
 
 	// mmapLock is Linux's mmap_lock, protecting the whole VMA tree.
@@ -353,8 +354,17 @@ func (s *Space) Msync(core int, va arch.Vaddr, size uint64) error {
 	return nil
 }
 
-// Destroy implements mm.MM.
+// Destroy implements mm.MM. Idempotent; the ASID is flushed (monotonic
+// compat mode) or left to the allocator's rollover flush (recycling —
+// the freed slot cannot be reissued before every core is flushed), then
+// returned to the machine. Without the FreeASID the baseline leaked an
+// identifier per exited process, which under address-space churn walked
+// the monotonic counter across every epoch cell and conservatively
+// killed other spaces' TLB fills forever.
 func (s *Space) Destroy(core int) {
+	if !s.dead.CompareAndSwap(false, true) {
+		return
+	}
 	s.mmapLock.Lock()
 	var frames []arch.PFN
 	s.tree.Destroy(core, func(pte uint64, level int) {
@@ -364,10 +374,13 @@ func (s *Space) Destroy(core int) {
 	})
 	s.vmas = tree{}
 	s.mmapLock.Unlock()
-	s.m.TLB.ShootdownAllSync(core, s.asid)
+	if !s.m.ASIDRecycling() {
+		s.m.TLB.ShootdownAllSync(core, s.asid)
+	}
 	for _, pfn := range frames {
 		s.m.Phys.Put(core, pfn)
 	}
+	s.m.FreeASID(s.asid)
 }
 
 // Fork implements mm.MM: mmap_lock writer on the parent, VMA list copy,
