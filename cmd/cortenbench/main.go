@@ -67,6 +67,7 @@ func main() {
 		{"batch", func(o bench.Options) error { _, err := bench.FigBatch(o); return err }},
 		{"numa", func(o bench.Options) error { _, err := bench.FigNuma(o); return err }},
 		{"tenant", func(o bench.Options) error { _, err := bench.FigTenant(o); return err }},
+		{"thp", func(o bench.Options) error { _, err := bench.FigTHP(o); return err }},
 		{"ablate", bench.Ablations},
 	}
 

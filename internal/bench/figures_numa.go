@@ -71,7 +71,80 @@ func FigNuma(o Options) ([]NumaCell, error) {
 			}
 		}
 	}
+	if err := numaBalancePoint(o); err != nil {
+		return nil, fmt.Errorf("numa balance: %w", err)
+	}
 	return out, nil
+}
+
+// numaBalancePoint demonstrates NUMA-balancing page migration: a region
+// deliberately misplaced on node 1 is touched round after round from a
+// node-0 core while the compaction manager's balancer watches the
+// access streaks (NoteAccess samples every TLB fill; the working set
+// exceeds the TLB so every round refills). The balancer must migrate
+// the hot frames to the accessor's node — the run fails, not just
+// under-reports, if locality does not improve.
+func numaBalancePoint(o Options) error {
+	const (
+		cores  = 2
+		frames = 1 << 15
+		pages  = 4096 // > the 2048-entry TLB: every round misses
+		rounds = 12
+	)
+	m := cpusim.New(cpusim.Config{Cores: cores, NUMANodes: 2, Frames: frames, TickEvery: 16})
+	a, err := core.New(core.Options{Machine: m, Protocol: core.ProtocolAdv})
+	if err != nil {
+		return err
+	}
+	defer func() { a.Destroy(0); m.Quiesce() }()
+	// Misplace the working set: every frame lands on node 1, while core 0
+	// (home: node 0) is the only accessor.
+	m.Phys.SetAllocPolicy(func(int) int { return 1 })
+	va, err := a.Mmap(0, pages*arch.PageSize, arch.PermRW, mm.FlagPopulate)
+	if err != nil {
+		return err
+	}
+	m.Phys.SetAllocPolicy(nil)
+	cm := core.AttachCompaction(m, nil, core.CompactConfig{
+		ScanSpans: -1, FragThreshold: -1, NumaStreak: 4,
+	})
+	cm.Register(a)
+
+	isa := arch.X8664{}
+	localFrac := func() float64 {
+		n := 0
+		for p := 0; p < pages; p++ {
+			if pte, _, ok := a.Tree().Walk(va + arch.Vaddr(p)*arch.PageSize); ok {
+				if m.Phys.FrameNode(isa.PFNOf(pte)) == m.NodeOf(0) {
+					n++
+				}
+			}
+		}
+		return float64(n) / pages
+	}
+	before := localFrac()
+	for r := 0; r < rounds; r++ {
+		for p := 0; p < pages; p++ {
+			if _, err := a.Load(0, va+arch.Vaddr(p)*arch.PageSize); err != nil {
+				return err
+			}
+			// User data accesses are not syscalls and issue no op ticks of
+			// their own; tick explicitly to model timer interrupts firing
+			// during the sustained user phase (the balancer rides ticks).
+			m.OpTick(0)
+		}
+	}
+	after := localFrac()
+	moved := m.Phys.MigrationStatsTotal().NumaMigrations
+	fmt.Fprintf(o.W, "fig22-numa-balance nodes=2 pages=%d local-before=%.3f local-after=%.3f migrations=%d\n",
+		pages, before, after, moved)
+	if moved == 0 {
+		return fmt.Errorf("balancer migrated nothing (local %.3f -> %.3f)", before, after)
+	}
+	if after <= before {
+		return fmt.Errorf("locality did not improve: %.3f -> %.3f (%d migrations)", before, after, moved)
+	}
+	return nil
 }
 
 // numaPoint runs one grid cell: 8 cores spread over the node count, an

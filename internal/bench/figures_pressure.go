@@ -28,6 +28,30 @@ type PressureCell struct {
 	SwapQueued    uint64
 	SwapCompleted uint64
 	SwapFailed    uint64
+	// FragIndex is the post-run order-9 external-fragmentation index of
+	// node 0 (pressure shatters free memory; this is what compaction
+	// would have to undo), with the per-order free-block histogram
+	// behind it.
+	FragIndex   float64
+	FreeByOrder [mem.MaxOrder + 1]int64
+}
+
+// fmtByOrder renders the low orders of a free-block histogram compactly
+// (orders above 9 are rolled into the last bucket).
+func fmtByOrder(by [mem.MaxOrder + 1]int64) string {
+	s := "["
+	var high int64
+	for o, n := range by {
+		if o <= 9 {
+			if o > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%d", n)
+			continue
+		}
+		high += n
+	}
+	return s + fmt.Sprintf(" +%d]", high)
 }
 
 // FigPressure measures how populate throughput degrades as free-frame
@@ -49,9 +73,10 @@ func FigPressure(o Options) ([]PressureCell, error) {
 				return nil, fmt.Errorf("pressure %s ratio=%.2f: %w", sys, ratio, err)
 			}
 			out = append(out, cell)
-			fmt.Fprintf(o.W, "pressure system=%-10s ratio=%.2f pages/s=%-10.0f swapouts=%-6d direct=%-5d bg=%-4d swapq=%d/%d/%d\n",
+			fmt.Fprintf(o.W, "pressure system=%-10s ratio=%.2f pages/s=%-10.0f swapouts=%-6d direct=%-5d bg=%-4d swapq=%d/%d/%d frag=%.2f free-by-order=%s\n",
 				cell.System, cell.Ratio, cell.PagesPerSec, cell.SwapOuts, cell.DirectRounds, cell.BgSweeps,
-				cell.SwapQueued, cell.SwapCompleted, cell.SwapFailed)
+				cell.SwapQueued, cell.SwapCompleted, cell.SwapFailed,
+				cell.FragIndex, fmtByOrder(cell.FreeByOrder))
 		}
 	}
 	return out, nil
@@ -92,6 +117,8 @@ func pressurePoint(sys System, physFrames int, ratio float64, repeat int) (Press
 			best.SwapQueued = st.SwapQueued
 			best.SwapCompleted = st.SwapCompleted
 			best.SwapFailed = st.SwapFailed
+			best.FragIndex = m.Phys.FragIndex(0, arch.IndexBits)
+			best.FreeByOrder = m.Phys.FreeByOrder(0)
 		}
 		a.Destroy(0)
 		m.Quiesce()

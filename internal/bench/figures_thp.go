@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/core"
+	"cortenmm/internal/cpusim"
+	"cortenmm/internal/mem"
+	"cortenmm/internal/mm"
+	"cortenmm/internal/workload"
+)
+
+// THPCell is one row of the THP/compaction figure: a hot working set
+// touched on a deliberately fragmented machine, with the compaction +
+// collapse pipeline on or off.
+type THPCell struct {
+	System   System
+	Pipeline bool
+	// HugeCoverage is the fraction of the hot region mapped huge at the
+	// end of the run. The region starts 100% 4-KiB mapped on a
+	// fragmented zone; only the pipeline (compaction -> order-9 blocks,
+	// khugepaged scanner -> collapse) can raise it above zero.
+	HugeCoverage float64
+	// Order9Rate is the post-run success rate of order-9 allocation
+	// probes against the still-fragmented zone. Without compaction the
+	// free memory exists but cannot coalesce (ErrFragmented).
+	Order9Rate  float64
+	PagesPerSec float64 // hot-loop touch throughput
+	FragIndex   float64 // order-9 fragmentation index at end of run
+	Promotions  uint64  // scanner collapses
+	Demotions   uint64  // reclaim splits of cold huge spans
+	Migrated    uint64  // frames moved by compaction
+	DirectRuns  uint64  // direct-compaction passes from the slow path
+}
+
+// FigTHP measures what the compaction + THP pipeline buys (and costs)
+// under external fragmentation: the zone is shattered by interleaved
+// long/short-lived allocations, then a hot region is touched round
+// after round. Pipeline off, huge coverage stays at zero and order-9
+// probes fail with free memory on hand; pipeline on, background and
+// direct compaction re-coalesce blocks and the scanner promotes the hot
+// spans. The pipeline is not free — migration copies pages and
+// collapse double-copies the span — so touch throughput is reported
+// honestly alongside coverage.
+func FigTHP(o Options) ([]THPCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# THP: huge coverage / order-9 success on a fragmented zone, pipeline on vs off")
+	physFrames := max(4096, int(8192*o.Scale))
+	spans := 4
+	rounds := max(6, int(12*o.Scale))
+	systems := []System{CortenRW, CortenAdv}
+	if o.Quick {
+		physFrames = 4096
+		spans = 2
+		rounds = 8
+		systems = []System{CortenAdv}
+	}
+	var out []THPCell
+	for _, sys := range systems {
+		for _, pipeline := range []bool{false, true} {
+			cell, err := thpPoint(sys, physFrames, spans, rounds, pipeline)
+			if err != nil {
+				return nil, fmt.Errorf("thp %s pipeline=%v: %w", sys, pipeline, err)
+			}
+			out = append(out, cell)
+			fmt.Fprintf(o.W, "thp system=%-10s pipeline=%-5v coverage=%.2f order9=%.2f pages/s=%-10.0f frag=%.2f promotes=%-4d demotes=%-4d migrated=%-5d direct=%d\n",
+				cell.System, cell.Pipeline, cell.HugeCoverage, cell.Order9Rate, cell.PagesPerSec,
+				cell.FragIndex, cell.Promotions, cell.Demotions, cell.Migrated, cell.DirectRuns)
+		}
+	}
+	return out, nil
+}
+
+func thpPoint(sys System, physFrames, spans, rounds int, pipeline bool) (THPCell, error) {
+	proto := core.ProtocolAdv
+	if sys == CortenRW {
+		proto = core.ProtocolRW
+	}
+	cell := THPCell{System: sys, Pipeline: pipeline}
+	m := cpusim.New(cpusim.Config{Cores: 2, Frames: physFrames})
+	a, err := core.New(core.Options{Machine: m, Protocol: proto, SwapDev: mem.NewBlockDev("swap")})
+	if err != nil {
+		return cell, err
+	}
+	defer func() {
+		a.Destroy(0)
+		m.Quiesce()
+	}()
+	rm := core.AttachReclaim(m, core.ReclaimConfig{})
+	rm.Register(a)
+	var cm *core.CompactionManager
+	if pipeline {
+		cm = core.AttachCompaction(m, rm, core.CompactConfig{
+			ScanSpans:     32,
+			PromoteScans:  2,
+			FragThreshold: 0.5,
+		})
+		cm.Register(a)
+	}
+
+	// Shatter the zone: long-lived pages pin every block they touch.
+	// Three quarters of physical memory passes through the fragmenter so
+	// no pristine order-9 block survives it.
+	frag, err := workload.Fragment(a, 0, physFrames*3/4, 8)
+	if err != nil {
+		return cell, err
+	}
+	defer frag.Release(a, 0)
+
+	// The hot region: 4-KiB populated at a span-aligned address (low in
+	// the VA space, clear of the allocator's arenas).
+	span := arch.SpanBytes(2)
+	regionBytes := uint64(spans) * span
+	base := arch.Vaddr(span)
+	if err := a.MmapFixed(0, base, regionBytes, arch.PermRW, mm.FlagPopulate); err != nil {
+		return cell, err
+	}
+
+	// Hot loop: touch every page each round, with a little short-lived
+	// churn alongside (the churn's map/unmap traffic also drives the
+	// timer ticks the scanner and kcompactd ride).
+	start := time.Now()
+	touched := 0
+	for r := 0; r < rounds; r++ {
+		for off := uint64(0); off < regionBytes; off += arch.PageSize {
+			if err := a.Store(0, base+arch.Vaddr(off), byte(r)); err != nil {
+				return cell, err
+			}
+			touched++
+		}
+		// The long-lived pins are hot too (they model live objects, not
+		// leaks) — reclaim must not quietly defragment the zone by
+		// swapping them out; only migration can move them.
+		for _, kv := range frag.Kept {
+			if err := a.Store(0, kv, byte(r)); err != nil {
+				return cell, err
+			}
+		}
+		if err := workload.Churn(a, 0, 4, 16); err != nil {
+			return cell, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	cell.PagesPerSec = float64(touched) / elapsed.Seconds()
+	cell.HugeCoverage = float64(a.HugeBytes(0)) / float64(regionBytes)
+
+	// Order-9 probes: can the still-fragmented zone serve huge-page
+	// sized blocks now? Held until all probes ran, so one compacted
+	// block cannot be recycled into every probe.
+	probes := max(2, spans/2)
+	var got []arch.PFN
+	succ := 0
+	for i := 0; i < probes; i++ {
+		if pfn, err := m.Phys.AllocFrames(0, arch.IndexBits, mem.KindAnon); err == nil {
+			succ++
+			got = append(got, pfn)
+		}
+	}
+	for _, pfn := range got {
+		m.Phys.Put(0, pfn)
+	}
+	cell.Order9Rate = float64(succ) / float64(probes)
+
+	// Pipeline counters are read after the probes: the probes themselves
+	// trigger direct compaction, and those runs belong in the row.
+	cell.FragIndex = m.Phys.FragIndex(0, arch.IndexBits)
+	cell.Demotions = a.Stats().Demotions.Load()
+	cell.Migrated = m.Phys.MigrationStatsTotal().Migrated
+	if cm != nil {
+		cs := cm.Stats()
+		cell.Promotions = cs.Promotions
+		cell.DirectRuns = cs.DirectRuns
+	}
+	return cell, nil
+}

@@ -377,7 +377,10 @@ func TestBatchEquivalenceConcurrent(t *testing.T) {
 						default:
 						}
 						va := side + arch.Vaddr(i%64)*arch.PageSize
-						if err := ba.Store(core, va, byte(i)); err != nil {
+						// Each core owns a distinct byte of the page: the
+						// cores contend on mappings and TLB state, not on
+						// user data (racy user bytes are UB to the racer).
+						if err := ba.Store(core, va+arch.Vaddr(core*64), byte(i)); err != nil {
 							t.Errorf("faulter store: %v", err)
 							return
 						}

@@ -28,13 +28,29 @@ func (a *AddrSpace) CollapseHuge(core int, va arch.Vaddr) error {
 
 	span := arch.SpanBytes(2)
 	base := va &^ arch.Vaddr(span-1)
+	// Allocate the order-9 target before entering the transaction: the
+	// order>0 slow path may run direct compaction, whose migrations take
+	// PT locks and an RCU barrier — both forbidden from inside a
+	// transaction. Out here the allocating goroutine holds nothing, so a
+	// fragmented zone can be compacted on demand to serve the collapse.
+	block, err := a.m.Phys.AllocFrames(core, arch.IndexBits, mem.KindAnon)
+	if err != nil {
+		return err // no contiguous memory: not an error of the span
+	}
 	// The collapse rewrites a level-2 entry, so the covering PT page
 	// must be at level 2 or above (LockLevel floor).
 	c, err := a.LockLevel(core, base, base+arch.Vaddr(span), 2)
 	if err != nil {
+		a.m.Phys.Put(core, block)
 		return err
 	}
 	defer c.Close()
+	consumed := false
+	defer func() {
+		if !consumed {
+			a.m.Phys.Put(core, block)
+		}
+	}()
 
 	// Pass 1, in one range iteration: the whole span must be uniform,
 	// resident, anonymous and exclusively owned. Non-resident pages
@@ -76,12 +92,8 @@ func (a *AddrSpace) CollapseHuge(core int, va arch.Vaddr) error {
 		return fmt.Errorf("%w: span %#x not fully resident", mm.ErrNotSupported, base)
 	}
 
-	// Pass 2: copy into a fresh order-9 block. Runs are physically
-	// contiguous, so each is one memmove.
-	block, err := a.m.Phys.AllocFrames(core, arch.IndexBits, mem.KindAnon)
-	if err != nil {
-		return err // no contiguous memory: not an error of the span
-	}
+	// Pass 2: copy into the pre-allocated order-9 block. Runs are
+	// physically contiguous, so each is one memmove.
 	dst := a.m.Phys.Data(block)
 	for _, r := range runs {
 		off := uint64(r.VA - base)
@@ -96,6 +108,7 @@ func (a *AddrSpace) CollapseHuge(core int, va arch.Vaddr) error {
 	if err := c.MapKeyed(base, block, 2, perm, key); err != nil {
 		return err
 	}
+	consumed = true
 	c.needSync = true // the small frames are freed and reusable at once
 	a.stats.Collapses.Add(1)
 	return nil

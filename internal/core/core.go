@@ -86,6 +86,9 @@ type AddrSpace struct {
 	fileMu   sync.Mutex
 	fileMaps []fileMapping
 	vaSizes  map[arch.Vaddr]uint64
+	// fixedVAs marks tracked ranges that came from MmapFixed: their VAs
+	// are not the allocator's, so Munmap must not recycle them into it.
+	fixedVAs map[arch.Vaddr]bool
 
 	// cursors is the per-core transaction-cursor cache (see Lock).
 	cursors []cachedCursor
@@ -97,6 +100,13 @@ type AddrSpace struct {
 	txDepth []txCounter
 	// reclaim is the manager this space is registered with, or nil.
 	reclaim *ReclaimManager
+	// compaction is the CompactionManager this space is registered with,
+	// or nil (set by CompactionManager.Register).
+	compaction atomic.Pointer[CompactionManager]
+	// migrants counts migration-hook invocations currently operating on
+	// this space. Destroy spins it to zero after marking the space
+	// destroyed, so the hook never locks a page-table tree mid-teardown.
+	migrants atomic.Int32
 	// oomKilled marks a space torn down by the OOM killer: allocating
 	// syscalls fail fast with ErrOOMKilled, releases still work.
 	oomKilled atomic.Bool
@@ -156,18 +166,19 @@ func New(o Options) (*AddrSpace, error) {
 		va = cpusim.NewGlobalVA()
 	}
 	return &AddrSpace{
-		m:       o.Machine,
-		tree:    tree,
-		isa:     o.ISA,
-		asid:    o.Machine.AllocASID(),
-		proto:   o.Protocol,
-		valloc:  va,
-		perCore: o.PerCoreVA,
-		coarse:  o.CoarseLocking,
-		swapDev: o.SwapDev,
-		vaSizes: make(map[arch.Vaddr]uint64),
-		cursors: make([]cachedCursor, o.Machine.Cores),
-		txDepth: make([]txCounter, o.Machine.Cores),
+		m:        o.Machine,
+		tree:     tree,
+		isa:      o.ISA,
+		asid:     o.Machine.AllocASID(),
+		proto:    o.Protocol,
+		valloc:   va,
+		perCore:  o.PerCoreVA,
+		coarse:   o.CoarseLocking,
+		swapDev:  o.SwapDev,
+		vaSizes:  make(map[arch.Vaddr]uint64),
+		fixedVAs: make(map[arch.Vaddr]bool),
+		cursors:  make([]cachedCursor, o.Machine.Cores),
+		txDepth:  make([]txCounter, o.Machine.Cores),
 	}, nil
 }
 

@@ -140,7 +140,18 @@ func (c *RCursor) mapKeyed(va arch.Vaddr, frame arch.PFN, level int, perm arch.P
 	t.SetPTE(pfn, idx, leaf)
 	t.SetMeta(pfn, idx, pt.Status{})
 	head := c.a.m.Phys.HeadOf(frame)
-	c.a.m.Phys.Desc(head).MapCount.Add(1)
+	d := c.a.m.Phys.Desc(head)
+	d.MapCount.Add(1)
+	// Maintain the migration reverse-map hint: an exclusive anonymous
+	// 4-KiB mapping records (space, va) so the compaction/NUMA scanners
+	// can find the PTE; any other shape invalidates a stale hint. The
+	// hint is advisory — migration revalidates under the lock (§4.5).
+	if level == 1 && head == frame && d.Kind == mem.KindAnon &&
+		perm&(arch.PermShared|arch.PermCOW) == 0 {
+		d.SetAnonRMap(c.a, uint64(va))
+	} else {
+		d.ClearAnonRMap()
+	}
 	return nil
 }
 

@@ -116,6 +116,35 @@ var faultOps = []faultOp{
 		},
 	},
 	{
+		name: "migrate",
+		setup: func(t *testing.T, a *AddrSpace) func() error {
+			InstallMigrator(a.m)
+			va, err := a.Mmap(0, arch.PageSize, arch.PermRW, mm.FlagPopulate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Store(0, va, 42); err != nil {
+				t.Fatal(err)
+			}
+			return func() error {
+				// Resolve the frame currently backing va each attempt: a
+				// successful migration moves the page, so the previous
+				// source PFN is stale (freed) by the next call.
+				pte, _, ok := a.tree.Walk(va)
+				if !ok {
+					t.Fatal("migrate target not mapped")
+				}
+				if err := a.m.Phys.MigrateFrame(0, a.isa.PFNOf(pte)); err != nil {
+					return err
+				}
+				if b, lerr := a.Load(0, va); lerr != nil || b != 42 {
+					t.Fatalf("data lost across migration: %d, %v", b, lerr)
+				}
+				return nil
+			}
+		},
+	},
+	{
 		name: "reclaim",
 		swap: true,
 		setup: func(t *testing.T, a *AddrSpace) func() error {

@@ -73,6 +73,9 @@ func (a *AddrSpace) forkOnce(core int) (*AddrSpace, error) {
 	for va, sz := range a.vaSizes {
 		child.vaSizes[va] = sz
 	}
+	for va := range a.fixedVAs {
+		child.fixedVAs[va] = true
+	}
 	a.fileMu.Unlock()
 	for _, fm := range child.fileMaps {
 		fm.file.AddMapper(child)
@@ -165,6 +168,13 @@ func (a *AddrSpace) Destroy(core int) {
 	if rm := a.reclaim; rm != nil {
 		rm.Unregister(a)
 	}
+	if cm := a.compaction.Load(); cm != nil {
+		cm.Unregister(a)
+	}
+	// In-flight migration-hook operations saw destroyed==false before
+	// locking; wait them out so the tree teardown below never races a
+	// migration transaction (see migrateEnter/drainMigrants).
+	a.drainMigrants()
 	if !a.m.ASIDRecycling() {
 		a.m.TLB.ShootdownAllSync(core, a.asid)
 	}
@@ -182,6 +192,7 @@ func (a *AddrSpace) Destroy(core int) {
 		})
 	a.fileMu.Lock()
 	a.vaSizes = make(map[arch.Vaddr]uint64)
+	a.fixedVAs = make(map[arch.Vaddr]bool)
 	a.fileMu.Unlock()
 	a.m.FreeASID(a.asid)
 }

@@ -115,6 +115,7 @@ func (a *AddrSpace) LockLevel(core int, lo, hi arch.Vaddr, minLevel int) (*RCurs
 	c.reset(a, core, lo, hi, cached)
 	c.minLevel = minLevel
 	a.txDepth[core].n.Add(1)
+	a.m.EnterTx(core)
 	if a.proto == ProtocolRW {
 		a.lockRW(c)
 	} else {
@@ -264,6 +265,7 @@ func (c *RCursor) Close() {
 func (c *RCursor) releaseLocks() {
 	a := c.a
 	a.txDepth[c.core].n.Add(-1)
+	a.m.ExitTx(c.core)
 	if a.proto == ProtocolRW {
 		a.state(c.root).RW.Unlock(c.core)
 		for i := len(c.readPath) - 1; i >= 0; i-- {

@@ -69,6 +69,10 @@ type ReclaimManager struct {
 	// kicked[n] is set by the allocator when node n's zone drops below
 	// its low watermark and consumed by node n's next timer tick.
 	kicked []atomic.Bool
+	// compact chains a CompactionManager's tick off this manager's:
+	// the machine has one tick-hook slot, and reclaim owns it once
+	// attached (see AttachCompaction).
+	compact atomic.Pointer[CompactionManager]
 
 	directRounds atomic.Uint64
 	bgSweeps     atomic.Uint64
@@ -266,6 +270,11 @@ func (rm *ReclaimManager) DirectReclaim(core, target int) int {
 // queues): a background thread sharing a core ID with a running
 // workload would corrupt per-core lock state.
 func (rm *ReclaimManager) tick(core int) {
+	// The compaction pipeline ticks unconditionally: its scanner and
+	// fragmentation checks are not gated on reclaim pressure.
+	if cm := rm.compact.Load(); cm != nil {
+		cm.tick(core)
+	}
 	node := rm.m.NodeOf(core)
 	if !rm.kicked[node].Load() {
 		return

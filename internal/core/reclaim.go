@@ -50,16 +50,54 @@ func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, targe
 	// One pass enumerates candidate runs — private anonymous 4-KiB
 	// mappings, with the hardware A bit deciding hot vs cold per run
 	// (runs break where the bit changes). The swaps mutate the tree, so
-	// they happen after the iteration.
-	var runs []Run
+	// they happen after the iteration. Huge (2-MiB) runs are collected
+	// separately: eviction works at 4-KiB granularity, so a cold huge
+	// span must first be demoted.
+	var runs, hugeRuns []Run
 	err = c.IterateMapped(va, va+arch.Vaddr(size), func(r Run) error {
-		if r.Status.Perm&(arch.PermShared|arch.PermCOW) == 0 && r.Status.HugeLevel < 2 {
+		if r.Status.Perm&(arch.PermShared|arch.PermCOW) != 0 {
+			return nil
+		}
+		if r.Status.HugeLevel == 2 {
+			hugeRuns = append(hugeRuns, r)
+			return nil
+		}
+		if r.Status.HugeLevel < 2 {
 			runs = append(runs, r)
 		}
 		return nil
 	})
 	if err != nil {
 		return 0, err
+	}
+	// Huge runs get the same second chance as small pages: a young span
+	// has its A bits cleared; a cold one is demoted — the translation
+	// split back into 512 4-KiB leaves and the block shattered into
+	// independent frames — so the *next* sweep can evict it page by
+	// page if it stays cold. Demotion changes no translation, so it
+	// costs no flush and counts toward no eviction target.
+	for _, r := range hugeRuns {
+		if r.Accessed {
+			if err := c.ClearAccessed(r.VA, r.End()); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		span := arch.Vaddr(arch.SpanBytes(2))
+		for sb := r.VA; sb+span <= r.End(); sb += span {
+			if sb < va || sb+span > va+arch.Vaddr(size) {
+				continue // only spans fully inside the locked range
+			}
+			if node >= 0 {
+				off := uint64(sb-r.VA) / arch.PageSize
+				if a.m.Phys.FrameNode(r.Status.Page+arch.PFN(off)) != node {
+					continue
+				}
+			}
+			if c.demoteHuge(sb) {
+				a.stats.Demotions.Add(1)
+			}
+		}
 	}
 	// Second pass selects cold candidates and submits their writebacks
 	// on a per-sweep async queue — all device I/O for the sweep is
@@ -159,6 +197,62 @@ func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, targe
 		rm.swapFailed.Add(st.Failed + st.Refused)
 	}
 	return reclaimed, firstErr
+}
+
+// demoteHuge splits the huge leaf mapping the 2-MiB span at base back
+// into 512 4-KiB leaves and shatters the backing block into independent
+// order-0 frames — CollapseHuge's inverse, run under the same covering
+// lock as the sweep that found the span cold. The translation split
+// (ensureChild) maps the same frames at finer grain, so no flush is
+// needed; the block shatter (mem.ShatterBlock) then makes each page
+// individually reclaimable. Returns false, changing nothing durable, if
+// the span is not an exclusively owned anonymous huge leaf.
+func (c *RCursor) demoteHuge(base arch.Vaddr) bool {
+	a := c.a
+	t, isa := a.tree, a.isa
+	pfn, level, vbase := c.root, c.rootLevel, c.rootBase
+	for level > 2 {
+		span := arch.SpanBytes(level)
+		idx := int(uint64(base-vbase) / span)
+		pte := t.LoadPTE(pfn, idx)
+		if !isa.IsPresent(pte) || isa.IsLeaf(pte, level) {
+			return false
+		}
+		pfn, level, vbase = isa.PFNOf(pte), level-1, vbase+arch.Vaddr(uint64(idx)*span)
+	}
+	if level != 2 {
+		return false
+	}
+	idx := int(uint64(base-vbase) / arch.SpanBytes(2))
+	entryLo := vbase + arch.Vaddr(uint64(idx)*arch.SpanBytes(2))
+	pte := t.LoadPTE(pfn, idx)
+	if !isa.IsPresent(pte) || !isa.IsLeaf(pte, 2) {
+		return false
+	}
+	head := a.m.Phys.HeadOf(isa.PFNOf(pte))
+	d := a.m.Phys.Desc(head)
+	if d.Kind != mem.KindAnon || d.MapCount.Load() != 1 || d.Ref.Load() != 1 {
+		return false
+	}
+	// Split the translation first: 512 level-1 leaves over the same
+	// frames, taking the block's refcounts to 512/512.
+	if _, err := c.ensureChild(pfn, 2, idx, entryLo); err != nil {
+		return false
+	}
+	// Shatter the block. Huge heads never carry reverse-map hints, so
+	// no scanner pin can appear between the exclusivity check above and
+	// this swap — the shatter cannot fail and strand a half-demoted
+	// span (512 PTEs over an unshattered block would be permanently
+	// unreclaimable: the 4-KiB path requires MapCount == 1).
+	if !a.m.Phys.ShatterBlock(head) {
+		return false
+	}
+	// The children are ordinary exclusive anonymous pages now; hint
+	// each one so migration and compaction can find its mapping.
+	for i := 0; i < arch.PTEntries; i++ {
+		a.m.Phys.Desc(head+arch.PFN(i)).SetAnonRMap(a, uint64(base)+uint64(i)*arch.PageSize)
+	}
+	return true
 }
 
 // MadviseDontNeed implements mm.Madviser: release the physical pages of

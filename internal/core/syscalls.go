@@ -33,7 +33,14 @@ func (a *AddrSpace) MmapFixed(core int, va arch.Vaddr, size uint64, perm arch.Pe
 	if err := arch.CheckCanonical(va, size); err != nil {
 		return fmt.Errorf("%w: %v", mm.ErrBadRange, err)
 	}
-	return a.mmapAt(core, va, size, perm, fl, true)
+	if err := a.mmapAt(core, va, size, perm, fl, true); err != nil {
+		return err
+	}
+	// Fixed mappings are tracked like allocator-handed ones, so reclaim
+	// sweeps, the collapse scanner and OOM victim sizing see them;
+	// munmapFinish knows not to recycle a VA the allocator never owned.
+	a.trackFixedVA(va, size)
+	return nil
 }
 
 func alignSize(size uint64, fl mm.Flags) uint64 {
@@ -185,8 +192,13 @@ func (a *AddrSpace) Munmap(core int, va arch.Vaddr, size uint64) error {
 func (a *AddrSpace) munmapFinish(core int, va arch.Vaddr, size uint64) {
 	a.pruneFileMappings(va, va+arch.Vaddr(size))
 	if sz, ok := a.trackedVA(va); ok && sz == size {
-		a.untrackVA(va)
-		a.valloc.Free(core, va, size)
+		// Fixed mappings are tracked (for reclaim and the collapse
+		// scanner) but their VAs were never the allocator's to hand
+		// out, so they must not be recycled into it — PerCoreVA routes
+		// frees by address and owns only its own arenas.
+		if fixed := a.untrackVA(va); !fixed {
+			a.valloc.Free(core, va, size)
+		}
 	}
 }
 
@@ -313,6 +325,10 @@ func (a *AddrSpace) access(core int, va arch.Vaddr, acc pt.Access, fn func(page 
 				// in the TLB's span-indexed array so every page of the span
 				// hits from this one fill.
 				a.m.TLB.Insert(core, a.asid, page, tr)
+				if tr.Level == 1 {
+					// A TLB fill is the NUMA balancer's access sample.
+					a.m.Phys.NoteAccess(core, tr.PFN)
+				}
 			}
 		}
 		if ok {
@@ -341,6 +357,9 @@ func (a *AddrSpace) translate(core int, va arch.Vaddr, acc pt.Access) (pt.Transl
 		}
 		if tr, ok := a.tree.WalkAccess(va, acc); ok {
 			a.m.TLB.Insert(core, a.asid, page, tr)
+			if tr.Level == 1 {
+				a.m.Phys.NoteAccess(core, tr.PFN)
+			}
 			return tr, nil
 		}
 		if err := a.pageFault(core, va, acc); err != nil {
@@ -579,8 +598,21 @@ func (a *AddrSpace) trackedVA(va arch.Vaddr) (uint64, bool) {
 	return sz, ok
 }
 
-func (a *AddrSpace) untrackVA(va arch.Vaddr) {
+func (a *AddrSpace) untrackVA(va arch.Vaddr) (fixed bool) {
 	a.fileMu.Lock()
+	fixed = a.fixedVAs[va]
 	delete(a.vaSizes, va)
+	delete(a.fixedVAs, va)
+	a.fileMu.Unlock()
+	return fixed
+}
+
+// trackFixedVA records a MmapFixed range: visible to reclaim and the
+// collapse scanner like any tracked range, but never recycled into the
+// VA allocator on unmap.
+func (a *AddrSpace) trackFixedVA(va arch.Vaddr, size uint64) {
+	a.fileMu.Lock()
+	a.vaSizes[va] = size
+	a.fixedVAs[va] = true
 	a.fileMu.Unlock()
 }

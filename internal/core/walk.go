@@ -395,7 +395,11 @@ func (c *RCursor) PopulateAnon(lo, hi arch.Vaddr) error {
 			}
 			t.SetPTE(pfn, idx, leaf)
 			t.SetMeta(pfn, idx, pt.Status{})
-			a.m.Phys.Desc(frame).MapCount.Add(1)
+			d := a.m.Phys.Desc(frame)
+			d.MapCount.Add(1)
+			if s.Perm&(arch.PermShared|arch.PermCOW) == 0 {
+				d.SetAnonRMap(a, uint64(entryLo))
+			}
 			return nil
 		},
 	}
@@ -437,7 +441,11 @@ func (c *RCursor) bulkFillL2(pfn arch.PFN, idx int, entryLo arch.Vaddr, s pt.Sta
 			leaf = isa.WithProtKey(leaf, s.Key)
 		}
 		atomic.StoreUint64(&words[i], leaf)
-		a.m.Phys.Desc(frames[i]).MapCount.Add(1)
+		d := a.m.Phys.Desc(frames[i])
+		d.MapCount.Add(1)
+		if s.Perm&(arch.PermShared|arch.PermCOW) == 0 {
+			d.SetAnonRMap(a, uint64(entryLo)+uint64(i)*arch.PageSize)
+		}
 	}
 	t.State(child).Present = int32(n)
 	for i := n; i < arch.PTEntries; i++ {
@@ -451,10 +459,11 @@ func (c *RCursor) bulkFillL2(pfn arch.PFN, idx int, entryLo arch.Vaddr, s pt.Sta
 	return nil
 }
 
-// ClearAccessed clears the hardware accessed bit on every present 4-KiB
-// leaf in [lo, hi) — the clock scan's second-chance step — and queues
-// the invalidations so subsequent walks set the bit afresh. Huge leaves
-// are left alone (the clock does not reclaim them).
+// ClearAccessed clears the hardware accessed bit on every present leaf
+// in [lo, hi) — the clock scan's second-chance step — and queues the
+// invalidations so subsequent walks set the bit afresh. Huge leaves
+// participate too: the huge-aware reclaim path uses their bit to decide
+// between keeping a hot span and demoting a cold one.
 func (c *RCursor) ClearAccessed(lo, hi arch.Vaddr) error {
 	if err := c.checkRange(lo, hi); err != nil {
 		return err
@@ -464,7 +473,7 @@ func (c *RCursor) ClearAccessed(lo, hi arch.Vaddr) error {
 	v := walkOps{
 		readOnly: true,
 		onLeaf: func(pfn arch.PFN, idx, level int, entryLo, subLo, subHi arch.Vaddr, pte uint64) error {
-			if level == 1 && isa.Accessed(pte) {
+			if isa.Accessed(pte) {
 				t.StorePTE(pfn, idx, pte&^mask)
 				c.noteFlush(entryLo, level)
 			}

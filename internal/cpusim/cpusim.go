@@ -68,8 +68,22 @@ type Machine struct {
 
 type tickState struct {
 	n uint64
-	_ [56]byte
+	// tx counts the page-table transactions the core's goroutine is
+	// currently inside (EnterTx/ExitTx). Direct compaction consults it:
+	// migrating from within a transaction would deadlock on the RCU
+	// barrier, so the compactor refuses on a core that is mid-transaction.
+	tx int64
+	_  [48]byte
 }
+
+// EnterTx notes that core's goroutine entered a page-table transaction.
+func (m *Machine) EnterTx(core int) { atomic.AddInt64(&m.ticks[core].tx, 1) }
+
+// ExitTx notes that core's goroutine left a page-table transaction.
+func (m *Machine) ExitTx(core int) { atomic.AddInt64(&m.ticks[core].tx, -1) }
+
+// InTx reports whether core's goroutine is inside a transaction.
+func (m *Machine) InTx(core int) bool { return atomic.LoadInt64(&m.ticks[core].tx) > 0 }
 
 // New builds a machine. Zero config fields get sensible defaults
 // (4 cores, 1 node, 64 Ki frames = 256 MiB, sync TLB shootdown).

@@ -49,6 +49,10 @@ var (
 	MemAllocBatch = New("mem.alloc-batch")
 	// MemAllocHuge fails PhysMem.AllocFrames (order > 0).
 	MemAllocHuge = New("mem.alloc-huge")
+	// MemMigrateCopy fails a frame migration before the copy/remap runs:
+	// single migrations return an OOM-class error, compaction skips the
+	// candidate. Either way the source page stays mapped and intact.
+	MemMigrateCopy = New("mem.migrate-copy")
 	// SwapWrite fails BlockDev.Write, the swap-out I/O path.
 	SwapWrite = New("swap.write")
 	// PTAllocPage fails Tree.AllocPTPage, hit by every table split.

@@ -76,7 +76,7 @@ func (m *PhysMem) Audit() AuditReport {
 			r.addf("frame %#x: node tag %d but owning zone is %d",
 				pfn, d.Node, m.zoneOf(arch.PFN(pfn)))
 		}
-		if t := d.tail; t != 0 {
+		if t := d.tail.Load(); t != 0 {
 			head := int(t - 1)
 			if head < 0 || head >= pfn {
 				r.addf("frame %#x: tail marker points at bad head %#x", pfn, head)
@@ -86,8 +86,8 @@ func (m *PhysMem) Audit() AuditReport {
 			if h.Ref.Load() <= 0 {
 				r.addf("frame %#x: tail of free head %#x", pfn, head)
 			}
-			if head+1<<h.Order <= pfn {
-				r.addf("frame %#x: outside head %#x order %d span", pfn, head, h.Order)
+			if head+1<<h.order.Load() <= pfn {
+				r.addf("frame %#x: outside head %#x order %d span", pfn, head, h.order.Load())
 			}
 			continue
 		}
@@ -110,7 +110,7 @@ func (m *PhysMem) Audit() AuditReport {
 				r.addf("frame %#x: Ref==%d but marked free", pfn, ref)
 				continue
 			}
-			r.ByKind[d.Kind] += 1 << d.Order
+			r.ByKind[d.Kind] += 1 << d.order.Load()
 			if mc < 0 {
 				r.addf("frame %#x: negative MapCount %d", pfn, mc)
 			}
@@ -127,25 +127,36 @@ func (m *PhysMem) Audit() AuditReport {
 		}
 	}
 	// Pass 3: allocator free lists vs the table, per zone and globally.
+	// The walk also recounts free blocks per order and checks the
+	// published per-order mirrors (which feed the fragmentation index),
+	// so compaction/migration bugs that skew them are caught here.
 	for zi := range m.zones {
 		z := &m.zones[zi]
 		zfree := z.buddy.freeCount()
 		r.BuddyFree += zfree
 		r.NodeFree[zi] = zfree
+		var byOrder [MaxOrder + 1]int64
 		z.buddy.forEachFree(func(pfn arch.PFN, order int) {
+			byOrder[order]++
 			if m.zoneOf(pfn) != zi || m.zoneOf(pfn+arch.PFN(1<<order)-1) != zi {
 				r.addf("zone %d free list holds out-of-zone block %#x order %d", zi, pfn, order)
 				return
 			}
 			for i := arch.PFN(0); i < 1<<order; i++ {
 				d := &m.frames[pfn+i]
-				if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail != 0 {
+				if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail.Load() != 0 {
 					r.addf("zone %d free list holds live frame %#x (block %#x order %d)",
 						zi, pfn+i, pfn, order)
 					return
 				}
 			}
 		})
+		for o := 0; o <= MaxOrder; o++ {
+			if got := z.buddy.freeBlocksAt(o); got != byOrder[o] {
+				r.addf("zone %d: order-%d counter says %d free blocks, list walk says %d",
+					zi, o, got, byOrder[o])
+			}
+		}
 	}
 	r.PCPFree = m.pcpCached()
 	if r.FreeByDesc != r.BuddyFree+r.PCPFree {
@@ -156,7 +167,7 @@ func (m *PhysMem) Audit() AuditReport {
 		home := m.coreNode(i)
 		for _, pfn := range m.pcp[i].snapshot() {
 			d := &m.frames[pfn]
-			if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail != 0 {
+			if d.Ref.Load() != 0 || d.Kind != KindFree || d.tail.Load() != 0 {
 				r.addf("pcp cache %d holds live frame %#x", i, pfn)
 			}
 			if z := m.zoneOf(pfn); z != home {

@@ -34,11 +34,21 @@ type buddy struct {
 	// without per-frame atomic traffic inside the coalescing loops.
 	free_ int64
 	nfree atomic.Int64
+	// freeOrd counts free *blocks* per order (same locked-then-published
+	// discipline); the published mirror feeds the fragmentation index and
+	// the per-order rows in pressure figures without taking mu.
+	freeOrd  [MaxOrder + 1]int64
+	nfreeOrd [MaxOrder + 1]atomic.Int64
 }
 
-// publish mirrors the locked free counter into the lock-free one; call
+// publish mirrors the locked free counters into the lock-free ones; call
 // before releasing mu in any operation that moved frames.
-func (b *buddy) publish() { b.nfree.Store(b.free_) }
+func (b *buddy) publish() {
+	b.nfree.Store(b.free_)
+	for o := range b.freeOrd {
+		b.nfreeOrd[o].Store(b.freeOrd[o])
+	}
+}
 
 // init seeds a buddy over the absolute PFN range [base, base+nframes).
 // reserveFirst skips the range's first frame — zone 0 reserves the NULL
@@ -84,6 +94,7 @@ func (b *buddy) pushFree(pfn int32, order int) {
 	}
 	b.heads[order] = pfn
 	b.free_ += 1 << order
+	b.freeOrd[order]++
 }
 
 func (b *buddy) unlink(pfn int32, order int) {
@@ -97,6 +108,7 @@ func (b *buddy) unlink(pfn int32, order int) {
 	}
 	b.isFree[pfn] = false
 	b.free_ -= 1 << order
+	b.freeOrd[order]--
 }
 
 // alloc removes one naturally aligned block of 2^order frames,
@@ -125,6 +137,40 @@ func (b *buddy) allocLocked(order int) (arch.PFN, bool) {
 	}
 	b.order[pfn] = uint8(order)
 	return arch.PFN(pfn), true
+}
+
+// allocHigh removes one naturally aligned block of 2^order frames from
+// the high-PFN end of the zone, splitting larger free blocks so the
+// highest aligned sub-block is kept. Unmovable allocations (page-table
+// pages) are placed this way: compaction cannot migrate them, so
+// letting them land wherever the freelist head points would leave one
+// immovable frame in nearly every large block and make order-9
+// coalescing impossible no matter how much movable memory compaction
+// shifts. Clustering them at the top — the same end compaction packs
+// movable frames toward — keeps the zone's low blocks pure. This is
+// the cheap analog of Linux's per-pageblock mobility grouping.
+func (b *buddy) allocHigh(order int) (arch.PFN, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	defer b.publish()
+	// Blocks are disjoint, so the highest free head belongs to the block
+	// containing the highest free frame; scan down for it.
+	for pfn := int32(b.n - 1); pfn >= 0; pfn-- {
+		if !b.isFree[pfn] || int(b.order[pfn]) < order {
+			continue
+		}
+		o := int(b.order[pfn])
+		b.unlink(pfn, o)
+		// Keep the highest aligned sub-block, freeing everything below.
+		for o > order {
+			o--
+			b.pushFree(pfn, o)
+			pfn += 1 << o
+		}
+		b.order[pfn] = uint8(order)
+		return arch.PFN(pfn) + arch.PFN(b.base), true
+	}
+	return 0, false
 }
 
 // free returns a block (by absolute head PFN), coalescing with its
@@ -180,6 +226,47 @@ func (b *buddy) freeBatch(pfns []arch.PFN) {
 }
 
 func (b *buddy) freeCount() uint64 { return uint64(b.nfree.Load()) }
+
+// freeBlocksAt reports the published count of free blocks of exactly
+// the given order (lock-free).
+func (b *buddy) freeBlocksAt(order int) int64 { return b.nfreeOrd[order].Load() }
+
+// allocHighFrames harvests up to len(out) order-0 frames from the
+// high-PFN end of the zone: it scans downward for free blocks of order
+// below dontSplit, reinterprets each as independent order-0 frames and
+// keeps as many as still needed, freeing the surplus back (where they
+// re-coalesce). Compaction uses these as migration targets: pulling
+// targets from high PFNs while evacuating low PFNs is what lets low
+// blocks re-form. Blocks of order >= dontSplit are left intact — they
+// are the goal, not raw material. Returns the number of frames written
+// to out (absolute PFNs, zone-local by construction).
+func (b *buddy) allocHighFrames(out []arch.PFN, dontSplit int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	defer b.publish()
+	got := 0
+	for pfn := b.n - 1; pfn >= 0 && got < len(out); pfn-- {
+		if !b.isFree[pfn] || int(b.order[pfn]) >= dontSplit {
+			continue
+		}
+		o := int(b.order[pfn])
+		head := int32(pfn)
+		b.unlink(head, o)
+		// Reinterpret the block as 2^o independent order-0 frames, kept
+		// from the top down so targets stay as high as possible.
+		for i := 1<<o - 1; i >= 0; i-- {
+			f := head + int32(i)
+			b.order[f] = 0
+			if got < len(out) {
+				out[got] = arch.PFN(f) + arch.PFN(b.base)
+				got++
+			} else {
+				b.freeLocked(f, 0)
+			}
+		}
+	}
+	return got
+}
 
 // forEachFree visits every free block (absolute head PFN + order) under
 // the buddy lock — the auditor's view of the free lists.

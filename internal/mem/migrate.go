@@ -1,0 +1,352 @@
+package mem
+
+// Frame migration and zone compaction (§4.5-adjacent machinery for the
+// THP pipeline): the mem layer owns candidate discovery, pinning, and
+// target allocation; the core layer registers a MigrateHook that runs
+// the locked break-before-make remap + copy through the page-table
+// transaction protocol. Reverse-map hints (FrameDesc.anonVA/anonOwner)
+// are advisory — the hook revalidates everything under the lock before
+// touching a PTE, exactly like the file reverse maps of §4.5.
+
+import (
+	"fmt"
+
+	"cortenmm/internal/arch"
+	"cortenmm/internal/fault"
+)
+
+// hugeOrder is the buddy order of a 2-MiB block (one L2 leaf).
+const hugeOrder = arch.IndexBits
+
+// MigrateReq describes one candidate migration handed to the core hook:
+// move the exclusive anonymous 4-KiB frame Src, believed mapped at VA in
+// Owner (an *AddrSpace, typed any to keep the dependency direction
+// mem <- core), to the freshly allocated frame Dst. Src carries a pin
+// taken by the scanner; Dst carries the allocation reference, which the
+// hook's remap consumes on success.
+type MigrateReq struct {
+	Owner any
+	VA    uint64
+	Src   arch.PFN
+	Dst   arch.PFN
+}
+
+// MigrateHook performs the locked remap+copy for a batch of requests,
+// returning a per-request success slice of the same length. It must not
+// free Src or Dst: on success the remap takes ownership of Dst's
+// reference and drops Src's mapping reference; the caller drops the
+// scanner pin afterwards and frees Dst on failure.
+type MigrateHook func(core int, reqs []MigrateReq) []bool
+
+// CompactHook is the direct-compaction callback the core layer
+// registers: compact so an order-sized block can form near node,
+// returning whether it made progress. It runs on the allocating
+// goroutine, so implementations must refuse when that goroutine is
+// inside a page-table transaction (the remap would deadlock).
+type CompactHook func(core, node, order int) bool
+
+// SetMigrator registers the frame-migration hook (nil unregisters).
+func (m *PhysMem) SetMigrator(h MigrateHook) {
+	if h == nil {
+		m.migrate.Store(nil)
+		return
+	}
+	m.migrate.Store(&h)
+}
+
+// SetCompactHook registers the direct-compaction callback invoked from
+// the order>0 allocation slow path (nil unregisters).
+func (m *PhysMem) SetCompactHook(h CompactHook) {
+	if h == nil {
+		m.compact.Store(nil)
+		return
+	}
+	m.compact.Store(&h)
+}
+
+// ErrNotMovable is returned when a frame cannot be migrated: no
+// migrator registered, the frame is not an exclusive anonymous 4-KiB
+// page with a reverse-map hint, or revalidation under the lock failed.
+var ErrNotMovable = fmt.Errorf("mem: frame not movable")
+
+// pinCandidate pins src if it looks like a movable page — an exclusive
+// (MapCount==1, Ref==1 before the pin) anonymous order-0 frame with a
+// reverse-map hint — and returns the hint. All pre-pin probes read only
+// atomics; Kind is read after the pin, whose CAS acquires initFrame's
+// Ref release, so the descriptor fields are stable. On any mismatch the
+// pin is dropped and ok is false.
+func (m *PhysMem) pinCandidate(core int, src arch.PFN) (owner any, va uint64, ok bool) {
+	d := &m.frames[src]
+	if d.tail.Load() != 0 || d.anonVA.Load() == 0 {
+		return nil, 0, false
+	}
+	if !m.TryGet(src) {
+		return nil, 0, false
+	}
+	if d.Kind != KindAnon || d.order.Load() != 0 || d.tail.Load() != 0 ||
+		d.MapCount.Load() != 1 || d.Ref.Load() != 2 {
+		m.Put(core, src)
+		return nil, 0, false
+	}
+	owner, va = d.AnonRMap()
+	if owner == nil || va == 0 {
+		m.Put(core, src)
+		return nil, 0, false
+	}
+	return owner, va, true
+}
+
+// MigrateFrame moves one movable frame to the calling core's preferred
+// node — the generic single-frame entry point.
+func (m *PhysMem) MigrateFrame(core int, src arch.PFN) error {
+	return m.migrateFrameTo(core, src, m.preferredNode(core), false)
+}
+
+// MigrateFrameTo moves one movable frame to the given node (the
+// NUMA-balancing path: node is the sustained accessor's home).
+func (m *PhysMem) MigrateFrameTo(core int, src arch.PFN, node int) error {
+	return m.migrateFrameTo(core, src, node, true)
+}
+
+func (m *PhysMem) migrateFrameTo(core int, src arch.PFN, node int, numa bool) error {
+	hp := m.migrate.Load()
+	if hp == nil {
+		return ErrNotMovable
+	}
+	hook := *hp
+	owner, va, ok := m.pinCandidate(core, src)
+	if !ok {
+		return ErrNotMovable
+	}
+	z := &m.zones[m.zoneOf(src)]
+	z.migAttempted.Add(1)
+	if fault.MemMigrateCopy.Fire() {
+		m.Put(core, src)
+		z.migFailed.Add(1)
+		return fault.MemMigrateCopy.Errorf(ErrOutOfMemory)
+	}
+	dst, err := m.AllocFrameOn(core, node, KindAnon)
+	if err != nil {
+		m.Put(core, src)
+		z.migFailed.Add(1)
+		return err
+	}
+	res := hook(core, []MigrateReq{{Owner: owner, VA: va, Src: src, Dst: dst}})
+	m.Put(core, src) // drop the scanner pin
+	if len(res) == 1 && res[0] {
+		z.migMigrated.Add(1)
+		if numa {
+			z.migNuma.Add(1)
+		}
+		return nil
+	}
+	m.Put(core, dst)
+	z.migFailed.Add(1)
+	return ErrNotMovable
+}
+
+// compactChunk bounds how many migrations share one hook invocation
+// (and therefore one RCU barrier).
+const compactChunk = 64
+
+// CompactZone runs one compaction pass over node's zone: it walks PFNs
+// from the low end pinning movable pages, pulls migration targets from
+// the high end of the same zone's buddy (allocHighFrames never splits a
+// block of hugeOrder or above — those are the goal), and migrates each
+// candidate strictly upward so the vacated low frames coalesce back
+// into high-order blocks. maxPages bounds the work (<=0 means the whole
+// zone). Returns the number of pages migrated.
+func (m *PhysMem) CompactZone(core, node, maxPages int) int {
+	hp := m.migrate.Load()
+	if hp == nil {
+		return 0
+	}
+	hook := *hp
+	z := &m.zones[node]
+	if maxPages <= 0 {
+		maxPages = int(z.frames())
+	}
+	migrated := 0
+	var targets [compactChunk]arch.PFN
+	pfn := z.base
+	for pfn < z.limit && migrated < maxPages {
+		want := min(compactChunk, maxPages-migrated)
+		reqs := make([]MigrateReq, 0, want)
+		for ; pfn < z.limit && len(reqs) < want; pfn++ {
+			owner, va, ok := m.pinCandidate(core, pfn)
+			if !ok {
+				continue
+			}
+			z.migAttempted.Add(1)
+			if fault.MemMigrateCopy.Fire() {
+				z.migFailed.Add(1)
+				m.Put(core, pfn)
+				continue
+			}
+			reqs = append(reqs, MigrateReq{Owner: owner, VA: va, Src: pfn})
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		got := z.buddy.allocHighFrames(targets[:len(reqs)], hugeOrder)
+		// Pair low sources with high targets; a candidate whose target
+		// would not sit strictly above it gains nothing — unpin it and
+		// hand the target back.
+		run := 0
+		for i, req := range reqs {
+			if i < got && targets[i] > req.Src {
+				m.initFrame(targets[i], KindAnon, 0)
+				reqs[i].Dst = targets[i]
+				run++
+			} else {
+				m.Put(core, req.Src)
+				if i < got {
+					z.buddy.free(targets[i], 0)
+				}
+			}
+		}
+		if run == 0 {
+			break // no usable high holes remain; further scanning is futile
+		}
+		reqs = reqs[:run]
+		res := hook(core, reqs)
+		for i, req := range reqs {
+			m.Put(core, req.Src) // drop the scanner pin
+			if i < len(res) && res[i] {
+				z.migMigrated.Add(1)
+				migrated++
+			} else {
+				z.migFailed.Add(1)
+				m.Put(core, req.Dst)
+			}
+		}
+	}
+	return migrated
+}
+
+// ShatterBlock splits a 2-MiB anonymous block whose huge mapping has
+// already been split into 512 4-KiB PTEs (Ref == MapCount == 512 on the
+// head) into 512 independent order-0 descriptors, so each page can be
+// reclaimed, migrated or freed on its own — the demotion counterpart of
+// CollapseHuge. The children's data payloads alias sub-slices of the
+// head's 2-MiB buffer: storage identity is preserved, so a writer
+// racing through a not-yet-flushed stale translation still lands in the
+// same bytes. Returns false (and changes nothing) when the head is not
+// in the expected post-split state — e.g. a transient scanner pin holds
+// an extra reference; callers just retry on a later pass.
+func (m *PhysMem) ShatterBlock(head arch.PFN) bool {
+	d := &m.frames[head]
+	if d.tail.Load() != 0 || int(d.order.Load()) != hugeOrder || d.Kind != KindAnon {
+		return false
+	}
+	nframes := int64(1) << hugeOrder
+	// Materialize the buffer before any child publishes: Data on a child
+	// must never size a fresh buffer from the rewritten order.
+	buf := m.Data(head)
+	// Claim the whole block first: the 512 per-PTE references collapse
+	// into the head's single one. CAS failure means an extra reference
+	// (a scanner pin) is in flight — abort with nothing published.
+	if !d.Ref.CompareAndSwap(nframes, 1) {
+		return false
+	}
+	d.MapCount.Store(1)
+	d.order.Store(0)
+	for i := int64(1); i < nframes; i++ {
+		c := &m.frames[head+arch.PFN(i)]
+		c.Kind = KindAnon
+		c.PT = nil
+		c.RMap = d.RMap
+		c.words = nil
+		sub := buf[uint64(i)*arch.PageSize : uint64(i+1)*arch.PageSize : uint64(i+1)*arch.PageSize]
+		c.data.Store(&sub)
+		c.order.Store(0)
+		c.Ref.Store(1)
+		c.MapCount.Store(1)
+		c.tail.Store(0) // published last: the child is now independent
+	}
+	// The head keeps the full 2-MiB buffer; DataPage slices page 0 out
+	// of it, and the next reallocation clears it.
+	return true
+}
+
+// MigrationStats is a snapshot of frame-migration telemetry.
+type MigrationStats struct {
+	// Attempted counts candidate pages handed to the migrator (pinned
+	// and validated); Migrated of those completed the remap+copy; Failed
+	// lost the revalidation race, hit fault injection, or could not get
+	// a target frame.
+	Attempted, Migrated, Failed uint64
+	// NumaMigrations is the subset of Migrated done to chase an
+	// accessor's node rather than to defragment.
+	NumaMigrations uint64
+}
+
+// NodeMigrationStats snapshots node's migration counters (attributed to
+// the source frame's zone).
+func (m *PhysMem) NodeMigrationStats(node int) MigrationStats {
+	z := &m.zones[node]
+	return MigrationStats{
+		Attempted:      z.migAttempted.Load(),
+		Migrated:       z.migMigrated.Load(),
+		Failed:         z.migFailed.Load(),
+		NumaMigrations: z.migNuma.Load(),
+	}
+}
+
+// MigrationStatsTotal sums migration telemetry across all zones.
+func (m *PhysMem) MigrationStatsTotal() MigrationStats {
+	var t MigrationStats
+	for n := range m.zones {
+		s := m.NodeMigrationStats(n)
+		t.Attempted += s.Attempted
+		t.Migrated += s.Migrated
+		t.Failed += s.Failed
+		t.NumaMigrations += s.NumaMigrations
+	}
+	return t
+}
+
+// FreeByOrder returns node's free-block count per buddy order
+// (lock-free, from the published mirrors).
+func (m *PhysMem) FreeByOrder(node int) [MaxOrder + 1]int64 {
+	var out [MaxOrder + 1]int64
+	for o := range out {
+		out[o] = m.zones[node].buddy.freeBlocksAt(o)
+	}
+	return out
+}
+
+// FragIndex computes the external-fragmentation index of node's zone
+// for the given order: the fraction of free memory sitting in blocks
+// too small to serve a 2^order request (0 = perfectly coalesced, →1 =
+// shattered). The analog of Linux's extfrag index, and the trigger for
+// background compaction.
+func (m *PhysMem) FragIndex(node, order int) float64 {
+	var free, usable int64
+	for o := 0; o <= MaxOrder; o++ {
+		f := m.zones[node].buddy.freeBlocksAt(o) << o
+		free += f
+		if o >= order {
+			usable += f
+		}
+	}
+	if free <= 0 {
+		return 0
+	}
+	return 1 - float64(usable)/float64(free)
+}
+
+// NumaCandidate reports whether pfn shows a sustained access streak
+// (>= minStreak) from a node other than the frame's own, returning that
+// accessor node. Only frames with a live reverse-map hint qualify.
+func (m *PhysMem) NumaCandidate(pfn arch.PFN, minStreak uint64) (int, bool) {
+	d := &m.frames[pfn]
+	if d.anonVA.Load() == 0 || d.tail.Load() != 0 {
+		return 0, false
+	}
+	node, streak := d.accessStreak()
+	if node < 0 || streak < minStreak || node == m.zoneOf(pfn) {
+		return 0, false
+	}
+	return node, true
+}

@@ -35,6 +35,11 @@ type zone struct {
 	// whose home node is / is not this zone's node.
 	localAllocs  atomic.Uint64
 	remoteAllocs atomic.Uint64
+	// migration telemetry (per zone of the *source* frame).
+	migAttempted atomic.Uint64
+	migMigrated  atomic.Uint64
+	migFailed    atomic.Uint64
+	migNuma      atomic.Uint64 // subset of migMigrated done for NUMA locality
 }
 
 // frames returns the zone's total frame count.
@@ -259,6 +264,19 @@ func (m *PhysMem) account(core, zoneIdx, n int) {
 func (m *PhysMem) zonelistAlloc(core, node int) (arch.PFN, bool) {
 	for _, zi := range m.zonelists[node] {
 		if pfn, ok := m.zones[zi].buddy.alloc(0); ok {
+			m.account(core, zi, 1)
+			return pfn, true
+		}
+	}
+	return 0, false
+}
+
+// zonelistAllocUnmovable walks node's zonelist taking one order-0 frame
+// from the high end of each zone — the placement policy for unmovable
+// kinds (see buddy.allocHigh).
+func (m *PhysMem) zonelistAllocUnmovable(core, node int) (arch.PFN, bool) {
+	for _, zi := range m.zonelists[node] {
+		if pfn, ok := m.zones[zi].buddy.allocHigh(0); ok {
 			m.account(core, zi, 1)
 			return pfn, true
 		}

@@ -62,8 +62,10 @@ type FrameDesc struct {
 	MapCount atomic.Int64
 	// Kind is the current use of the frame.
 	Kind Kind
-	// Order is the buddy order the frame was allocated with (head only).
-	Order uint8
+	// order is the buddy order the frame was allocated with (head only).
+	// Atomic because the compaction scanner inspects candidate frames
+	// lock-free while ShatterBlock may rewrite it concurrently.
+	order atomic.Uint32
 
 	// Node is the NUMA node owning this frame — a static tag assigned
 	// at boot from the zone layout; Audit cross-checks it against the
@@ -89,8 +91,55 @@ type FrameDesc struct {
 	// and losers adopt it.
 	data atomic.Pointer[[]byte]
 	// tail is head-PFN+1 when this frame is a non-head member of a
-	// multi-frame (huge) block, 0 otherwise.
-	tail int64
+	// multi-frame (huge) block, 0 otherwise. Atomic because ShatterBlock
+	// clears it while the compaction scanner probes candidates lock-free.
+	tail atomic.Int64
+
+	// anonVA is the migration reverse-map hint: the VA (never 0 for a
+	// mapped page — VA 0 is unmapped by construction) at which an
+	// exclusive anonymous 4-KiB mapping of this frame was last installed,
+	// or 0 when no such hint exists. Purely advisory (§4.5): the migrator
+	// revalidates through the lock protocol before trusting it.
+	anonVA atomic.Uint64
+	// anonOwner is the owning address space for the anonVA hint, stored
+	// before anonVA publishes (always a concrete *core.AddrSpace, held as
+	// any to keep the dependency direction mem <- core). Never cleared —
+	// a stale owner is harmless because validation rejects mismatches.
+	anonOwner atomic.Value
+	// access packs the NUMA access-streak telemetry:
+	// (node+1)<<32 | streak. Lossy — concurrent updates may drop counts.
+	access atomic.Uint64
+}
+
+// Order returns the buddy order the frame was allocated with (head only).
+func (d *FrameDesc) Order() int { return int(d.order.Load()) }
+
+// Tail reports whether this frame is a non-head member of a huge block.
+func (d *FrameDesc) Tail() bool { return d.tail.Load() != 0 }
+
+// SetAnonRMap records the migration reverse-map hint: owner (an address
+// space) maps this frame exclusively at va. Owner is stored first so a
+// reader that observes the VA also observes its owner.
+func (d *FrameDesc) SetAnonRMap(owner any, va uint64) {
+	d.anonOwner.Store(owner)
+	d.anonVA.Store(va)
+}
+
+// AnonRMap returns the recorded hint (owner, va); va == 0 means no hint.
+func (d *FrameDesc) AnonRMap() (any, uint64) {
+	va := d.anonVA.Load()
+	if va == 0 {
+		return nil, 0
+	}
+	return d.anonOwner.Load(), va
+}
+
+// ClearAnonRMap drops the hint (unmap, COW sharing, huge collapse).
+// Load-guarded so hot paths that never set hints stay store-free.
+func (d *FrameDesc) ClearAnonRMap() {
+	if d.anonVA.Load() != 0 {
+		d.anonVA.Store(0)
+	}
 }
 
 // RMapRef identifies the logical owner of a frame for reverse mapping.
@@ -122,7 +171,7 @@ const (
 )
 
 // PhysMem is the simulated physical memory: a frame table plus per-NUMA
-//-node buddy zones with per-core frame caches. Each core's pcp cache
+// -node buddy zones with per-core frame caches. Each core's pcp cache
 // holds only frames of its home node; allocations prefer the placement
 // node's zone and walk its zonelist on exhaustion.
 type PhysMem struct {
@@ -154,6 +203,15 @@ type PhysMem struct {
 	minWater atomic.Uint64
 	// reclaim is the registered direct-reclaim hook, if any.
 	reclaim atomic.Pointer[ReclaimHook]
+	// compact is the registered direct-compaction hook, if any; invoked
+	// from the order>0 allocation slow path.
+	compact atomic.Pointer[CompactHook]
+	// migrate is the registered frame-migration hook (the core layer's
+	// locked break-before-make remap), if any.
+	migrate atomic.Pointer[MigrateHook]
+	// numaTrack gates NoteAccess streak accounting (off unless NUMA
+	// balancing is configured, keeping the hot translate path cheap).
+	numaTrack atomic.Bool
 	// kick is invoked (from allocation paths, so it must be cheap and
 	// non-blocking) when a zone's free frames drop below its low
 	// watermark; the argument is the starved node.
@@ -175,6 +233,14 @@ func (m *PhysMem) Desc(pfn arch.PFN) *FrameDesc { return &m.frames[pfn] }
 
 // ErrOutOfMemory is returned when no frame of the requested order exists.
 var ErrOutOfMemory = fmt.Errorf("mem: out of physical memory")
+
+// ErrFragmented is returned for an order>0 allocation when free memory
+// was sufficient (>= 2^order free frames existed in the zonelist) but no
+// contiguous block could be assembled even after compaction — the zone
+// is fragmented, not exhausted. It wraps ErrOutOfMemory so existing
+// errors.Is(err, ErrOutOfMemory) retry/OOM paths treat it as the same
+// class.
+var ErrFragmented = fmt.Errorf("mem: physical memory fragmented (free but uncoalescable): %w", ErrOutOfMemory)
 
 // SetWatermarks configures the global reclaim watermarks, in frames,
 // distributing each zone's share proportional to its size. Zero
@@ -247,17 +313,24 @@ func (m *PhysMem) DrainPCP() int {
 }
 
 // allocSlow is the allocation slow path, entered on buddy exhaustion.
-// Rung one drains the pcp caches back to the buddy and retries. If that
-// fails it runs bounded direct-reclaim rounds through the registered
-// hook — the hook performs its own backoff by driving simulated timer
-// ticks (TLB sweeps + RCU polls) so deferred frees reach the allocator
-// — retrying after each. It fails hard only when a round reclaims
-// nothing while free frames sit at or below the min watermark, or after
-// reclaimRounds rounds. retry must re-attempt the original allocation
-// and report success.
-func (m *PhysMem) allocSlow(core, node int, retry func() bool) bool {
+// Rung one drains the pcp caches back to the buddy and retries. For
+// order > 0 requests it then tries direct compaction — fragmentation is
+// not exhaustion, so reclaiming (evicting pages) before compacting would
+// throw data away needlessly. If that fails it runs bounded
+// direct-reclaim rounds through the registered hook — the hook performs
+// its own backoff by driving simulated timer ticks (TLB sweeps + RCU
+// polls) so deferred frees reach the allocator — retrying after each,
+// and finally compacts once more (reclaim may have freed scattered
+// frames that only compaction can assemble). It fails hard only when a
+// round reclaims nothing while free frames sit at or below the min
+// watermark, or after reclaimRounds rounds. retry must re-attempt the
+// original allocation and report success.
+func (m *PhysMem) allocSlow(core, node, order int, retry func() bool) bool {
 	m.DrainPCP()
 	if retry() {
+		return true
+	}
+	if order > 0 && m.tryCompact(core, node, order) && retry() {
 		return true
 	}
 	hp := m.reclaim.Load()
@@ -278,7 +351,23 @@ func (m *PhysMem) allocSlow(core, node int, retry func() bool) bool {
 			break
 		}
 	}
+	if order > 0 && m.tryCompact(core, node, order) && retry() {
+		return true
+	}
 	return false
+}
+
+// tryCompact invokes the registered direct-compaction hook and drains
+// the pcp caches so any frames it freed can coalesce. Reports whether a
+// hook ran and claimed progress.
+func (m *PhysMem) tryCompact(core, node, order int) bool {
+	hp := m.compact.Load()
+	if hp == nil {
+		return false
+	}
+	ok := (*hp)(core, node, order)
+	m.DrainPCP()
+	return ok
 }
 
 // AllocFrame allocates one 4-KiB frame of the given kind, preferring the
@@ -299,6 +388,18 @@ func (m *PhysMem) AllocFrameOn(core, node int, kind Kind) (arch.PFN, error) {
 	}
 	var pfn arch.PFN
 	var ok bool
+	if kind == KindPT {
+		// Unmovable frames skip the pcp cache (whose frames sit at
+		// arbitrary, typically low PFNs) and are clustered at the zone's
+		// high end so they never pin a block compaction could otherwise
+		// re-form. On exhaustion fall through to the ordinary path: a
+		// badly placed PT page beats a failed allocation.
+		if pfn, ok = m.zonelistAllocUnmovable(core, node); ok {
+			m.initFrame(pfn, kind, 0)
+			m.checkPressure(node)
+			return pfn, nil
+		}
+	}
 	if node == m.coreNode(core) {
 		pfn, ok = m.pcp[core].pop()
 		if !ok {
@@ -309,7 +410,7 @@ func (m *PhysMem) AllocFrameOn(core, node int, kind Kind) (arch.PFN, error) {
 		pfn, ok = m.zonelistAlloc(core, node)
 	}
 	if !ok {
-		ok = m.allocSlow(core, node, func() bool {
+		ok = m.allocSlow(core, node, 0, func() bool {
 			pfn, ok = m.zonelistAlloc(core, node)
 			return ok
 		})
@@ -357,7 +458,7 @@ func (m *PhysMem) AllocFrameBatch(core int, kind Kind, out []arch.PFN) int {
 		n += m.zonelistAllocBatch(core, node, out[n:])
 	}
 	if n < len(out) {
-		m.allocSlow(core, node, func() bool {
+		m.allocSlow(core, node, 0, func() bool {
 			n += m.zonelistAllocBatch(core, node, out[n:])
 			return n == len(out)
 		})
@@ -386,12 +487,18 @@ func (m *PhysMem) AllocFrames(core int, order int, kind Kind) (arch.PFN, error) 
 	node := m.preferredNode(core)
 	pfn, ok := m.zonelistAllocOrder(core, node, order)
 	if !ok {
-		ok = m.allocSlow(core, node, func() bool {
+		ok = m.allocSlow(core, node, order, func() bool {
 			pfn, ok = m.zonelistAllocOrder(core, node, order)
 			return ok
 		})
 	}
 	if !ok {
+		// Distinguish fragmentation from exhaustion: if the zonelist
+		// still holds >= 2^order free frames, they exist but could not
+		// be coalesced into a block even after direct compaction.
+		if m.zonelistFree(node) >= uint64(1)<<order {
+			return 0, ErrFragmented
+		}
 		return 0, ErrOutOfMemory
 	}
 	m.initFrame(pfn, kind, uint8(order))
@@ -402,7 +509,7 @@ func (m *PhysMem) AllocFrames(core int, order int, kind Kind) (arch.PFN, error) 
 func (m *PhysMem) initFrame(pfn arch.PFN, kind Kind, order uint8) {
 	d := &m.frames[pfn]
 	d.Kind = kind
-	d.Order = order
+	d.order.Store(uint32(order))
 	d.Ref.Store(1)
 	d.MapCount.Store(0)
 	d.PT = nil
@@ -413,13 +520,21 @@ func (m *PhysMem) initFrame(pfn arch.PFN, kind Kind, order uint8) {
 	if d.data.Load() != nil {
 		d.data.Store(nil)
 	}
+	// Migration/NUMA hints from the frame's previous life must not leak
+	// into the new one; load-guarded like data to keep the fast path dry.
+	if d.anonVA.Load() != 0 {
+		d.anonVA.Store(0)
+	}
+	if d.access.Load() != 0 {
+		d.access.Store(0)
+	}
 	if kind == KindPT {
 		d.words = new([arch.PTEntries]uint64)
 	} else {
 		d.words = nil
 	}
 	for i := arch.PFN(1); i < 1<<order; i++ {
-		m.frames[pfn+i].tail = int64(pfn) + 1
+		m.frames[pfn+i].tail.Store(int64(pfn) + 1)
 	}
 	m.kinds[kind].Add(1 << order)
 }
@@ -427,7 +542,7 @@ func (m *PhysMem) initFrame(pfn arch.PFN, kind Kind, order uint8) {
 // HeadOf resolves a frame inside a huge block to the block's head frame,
 // which carries the descriptor state (refcounts, kind, data).
 func (m *PhysMem) HeadOf(pfn arch.PFN) arch.PFN {
-	if t := m.frames[pfn].tail; t != 0 {
+	if t := m.frames[pfn].tail.Load(); t != 0 {
 		return arch.PFN(t - 1)
 	}
 	return pfn
@@ -437,6 +552,23 @@ func (m *PhysMem) HeadOf(pfn arch.PFN) arch.PFN {
 func (m *PhysMem) Get(pfn arch.PFN) {
 	if m.frames[pfn].Ref.Add(1) <= 1 {
 		panic("mem: Get on free frame")
+	}
+}
+
+// TryGet attempts to take a reference on pfn without assuming the frame
+// is live: it fails (returning false) instead of panicking when the
+// frame is free or being freed. The lock-free migration scanner uses it
+// to pin candidates it discovered without holding any lock.
+func (m *PhysMem) TryGet(pfn arch.PFN) bool {
+	ref := &m.frames[pfn].Ref
+	for {
+		n := ref.Load()
+		if n <= 0 {
+			return false
+		}
+		if ref.CompareAndSwap(n, n+1) {
+			return true
+		}
 	}
 }
 
@@ -457,7 +589,7 @@ func (m *PhysMem) Put(core int, pfn arch.PFN) {
 	case n < 0:
 		panic("mem: Put on free frame")
 	}
-	order := int(d.Order)
+	order := int(d.order.Load())
 	m.kinds[d.Kind].Add(-(1 << order))
 	d.Kind = KindFree
 	d.PT = nil
@@ -466,8 +598,11 @@ func (m *PhysMem) Put(core int, pfn arch.PFN) {
 	if d.data.Load() != nil {
 		d.data.Store(nil) // only touched data frames pay the barrier
 	}
+	if d.anonVA.Load() != 0 {
+		d.anonVA.Store(0)
+	}
 	for i := arch.PFN(1); i < 1<<order; i++ {
-		m.frames[pfn+i].tail = 0
+		m.frames[pfn+i].tail.Store(0)
 	}
 	z := m.zoneOf(pfn)
 	if order == 0 {
@@ -503,7 +638,7 @@ func (m *PhysMem) Data(pfn arch.PFN) []byte {
 	if p := d.data.Load(); p != nil {
 		return *p
 	}
-	buf := make([]byte, arch.PageSize<<d.Order)
+	buf := make([]byte, arch.PageSize<<d.order.Load())
 	if d.data.CompareAndSwap(nil, &buf) {
 		return buf
 	}
@@ -518,6 +653,47 @@ func (m *PhysMem) DataPage(pfn arch.PFN) []byte {
 	data := m.Data(head)
 	return data[off : off+arch.PageSize]
 }
+
+// zonelistFree sums the free frames across node's zonelist (buddy only,
+// lock-free) — the "was memory actually available" probe behind
+// ErrFragmented.
+func (m *PhysMem) zonelistFree(node int) uint64 {
+	var n uint64
+	for _, z := range m.zonelists[node] {
+		n += m.zones[z].buddy.freeCount()
+	}
+	return n
+}
+
+// NoteAccess records a translation of pfn by core for NUMA-balancing
+// telemetry: a lossy per-frame streak of consecutive accesses from the
+// same remote node. No-op (one atomic load) unless balancing enabled it.
+func (m *PhysMem) NoteAccess(core int, pfn arch.PFN) {
+	if !m.numaTrack.Load() {
+		return
+	}
+	d := &m.frames[pfn]
+	node := uint64(m.coreNode(core)) + 1
+	old := d.access.Load()
+	if old>>32 == node {
+		d.access.Store(old + 1) // lossy: racing updates may drop counts
+	} else {
+		d.access.Store(node << 32)
+	}
+}
+
+// accessStreak unpacks the NUMA telemetry: the accessing node and the
+// length of its current access streak (node == -1 when none recorded).
+func (d *FrameDesc) accessStreak() (node int, streak uint64) {
+	v := d.access.Load()
+	if v == 0 {
+		return -1, 0
+	}
+	return int(v>>32) - 1, v & 0xffffffff
+}
+
+// SetNumaTracking enables or disables NoteAccess streak accounting.
+func (m *PhysMem) SetNumaTracking(on bool) { m.numaTrack.Store(on) }
 
 // FreeFrames reports the number of free frames remaining across all
 // zones.

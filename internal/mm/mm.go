@@ -66,6 +66,7 @@ type Stats struct {
 	SwapOuts    atomic.Uint64
 	Forks       atomic.Uint64
 	Collapses   atomic.Uint64 // huge-page promotions
+	Demotions   atomic.Uint64 // huge-page splits (cold spans demoted pre-reclaim)
 	KernelNanos atomic.Uint64
 }
 

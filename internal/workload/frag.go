@@ -1,0 +1,81 @@
+package workload
+
+// The fragmentation workload: interleave long- and short-lived
+// single-page allocations across a zone, then free the short-lived
+// ones. What remains is the classic external-fragmentation state —
+// plenty of free memory, but every would-be high-order block pinned by
+// one scattered long-lived page — the state compaction exists to
+// repair.
+
+import (
+	"cortenmm/internal/arch"
+	"cortenmm/internal/mm"
+)
+
+// FragResult is what Fragment left behind: the long-lived pages pinning
+// the zone's blocks.
+type FragResult struct {
+	Kept []arch.Vaddr
+}
+
+// Fragment allocates single pages one at a time (so consecutive
+// allocations land in adjacent frames), keeps every keepEvery-th
+// allocation and frees the rest. With keepEvery <= a block's frame
+// count the survivors shatter every high-order block they touched.
+func Fragment(sys mm.MM, core, pages, keepEvery int) (*FragResult, error) {
+	if keepEvery <= 0 {
+		keepEvery = 8
+	}
+	res := &FragResult{}
+	var drop []arch.Vaddr
+	for i := 0; i < pages; i++ {
+		va, err := sys.Mmap(core, arch.PageSize, arch.PermRW, mm.FlagPopulate)
+		if err != nil {
+			for _, d := range drop {
+				_ = sys.Munmap(core, d, arch.PageSize)
+			}
+			res.Release(sys, core)
+			return nil, err
+		}
+		if i%keepEvery == 0 {
+			res.Kept = append(res.Kept, va)
+		} else {
+			drop = append(drop, va)
+		}
+	}
+	for _, d := range drop {
+		_ = sys.Munmap(core, d, arch.PageSize)
+	}
+	return res, nil
+}
+
+// Churn runs rounds of transient allocate-touch-free activity (the
+// short-lived half of a mixed workload) to keep a zone's free lists
+// turning over while a measurement runs.
+func Churn(sys mm.MM, core, rounds, pagesPerRound int) error {
+	for r := 0; r < rounds; r++ {
+		vas := make([]arch.Vaddr, 0, pagesPerRound)
+		for i := 0; i < pagesPerRound; i++ {
+			va, err := sys.Mmap(core, arch.PageSize, arch.PermRW, mm.FlagPopulate)
+			if err != nil {
+				for _, d := range vas {
+					_ = sys.Munmap(core, d, arch.PageSize)
+				}
+				return err
+			}
+			vas = append(vas, va)
+		}
+		for _, d := range vas {
+			_ = sys.Munmap(core, d, arch.PageSize)
+		}
+	}
+	return nil
+}
+
+// Release frees the long-lived pages.
+func (f *FragResult) Release(sys mm.MM, core int) {
+	for _, va := range f.Kept {
+		_ = sys.Munmap(core, va, arch.PageSize)
+	}
+	f.Kept = nil
+}
