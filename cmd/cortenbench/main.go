@@ -68,6 +68,7 @@ func main() {
 		{"numa", func(o bench.Options) error { _, err := bench.FigNuma(o); return err }},
 		{"tenant", func(o bench.Options) error { _, err := bench.FigTenant(o); return err }},
 		{"thp", func(o bench.Options) error { _, err := bench.FigTHP(o); return err }},
+		{"spec", func(o bench.Options) error { _, err := bench.FigSpec(o); return err }},
 		{"ablate", bench.Ablations},
 	}
 

@@ -2,9 +2,11 @@
 // 4): it exhaustively model-checks both locking protocols on small
 // page-table topologies — mutual exclusion (P1), the Atomic-Tree →
 // Atomic refinement (the Figure-11 property), and the CortenMM_adv
-// unmap path of Figure 7 (no use-after-free, no lost update) — and, run
-// with -bugs, re-checks protocols with seeded bugs to demonstrate the
-// checker catches them (with counterexample traces).
+// unmap path of Figure 7 (no use-after-free, no lost update) — plus
+// the wider verified envelope: TLB staleness (sync/early-ack/LATR),
+// reclaim/transaction interference, and break-before-make migration.
+// Run with -bugs, it re-checks every model with seeded bugs to
+// demonstrate the checker catches them (with counterexample traces).
 //
 // Usage:
 //
@@ -129,6 +131,14 @@ func main() {
 		report(tc.name, spec.Check(m, *bound), false)
 	}
 
+	fmt.Println("# Envelope: TLB staleness, reclaim interference, break-before-make migration")
+	for _, c := range spec.EnvelopeCases() {
+		if c.Family == "rw" || c.Family == "adv" {
+			continue // covered by the topology-parameterised scenarios above
+		}
+		report(c.Family+"/"+c.Name, spec.Check(c.Model, min(c.Bound, *bound)), false)
+	}
+
 	if *bugs {
 		fmt.Println("# Seeded bugs (the checker must find each violation)")
 		rwBug := &spec.RWModel{Topo: topo, Targets: []int{mid, leaf}, SkipReadLocks: true}
@@ -142,6 +152,12 @@ func main() {
 		rwDynBug := &spec.RWDynModel{Topo: topo, Targets: []int{mid, leafUnder[0]},
 			Roles: []spec.Role{spec.RoleUnmapper, spec.RoleLocker}, UnmapChild: leafUnder[0], SkipReadLocks: true}
 		report("bug/rwdyn-lockless-no-rcu", spec.Check(rwDynBug, *bound), true)
+		for _, c := range spec.MutationCases() {
+			if c.Family == "rw" || c.Family == "adv" {
+				continue
+			}
+			report("bug/"+c.Family+"-"+c.Bug, spec.Check(c.Model, min(c.Bound, *bound)), true)
+		}
 	}
 
 	fmt.Printf("# total: %d states, %d transitions checked\n", totalStates, totalTrans)

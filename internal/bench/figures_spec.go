@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cortenmm/internal/spec"
+)
+
+// SpecCell is one row of the Table-4 analog: instead of proof lines and
+// verification time, explored states, checked transitions, and checker
+// wall time for one model configuration.
+type SpecCell struct {
+	Family      string
+	Name        string
+	Bug         string // "" for clean envelope rows
+	States      int
+	Transitions int
+	TraceSteps  int // counterexample length (mutation rows)
+	Millis      float64
+	Clean       bool
+}
+
+// FigSpec runs the verified-envelope grid (every model clean at its
+// default bound) and the seeded-bug mutation matrix (every model ×
+// every bug must violate), printing one row per run. It returns an
+// error if any clean model reports a violation or deadlock, or any
+// seeded bug goes uncaught — so the CI smoke step gates both
+// directions of the Table-4 claim. The states column is exact for
+// violation, deadlock, and clean runs alike (deadlock runs report the
+// full explored count, not a placeholder).
+func FigSpec(o Options) ([]SpecCell, error) {
+	o = o.norm()
+	fmt.Fprintln(o.W, "# spec: explored states / transitions / time per model (Table-4 analog)")
+	var out []SpecCell
+	var firstErr error
+	for _, c := range spec.EnvelopeCases() {
+		start := time.Now()
+		res := spec.Check(c.Model, c.Bound)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		cell := SpecCell{
+			Family: c.Family, Name: c.Name,
+			States: res.States, Transitions: res.Transitions,
+			Millis: ms,
+			Clean:  res.Violation == nil && res.Deadlock == nil,
+		}
+		out = append(out, cell)
+		fmt.Fprintf(o.W, "fig-spec family=%-7s model=%-18s states=%-8d transitions=%-8d time-ms=%-8.2f clean=%v\n",
+			c.Family, c.Name, res.States, res.Transitions, ms, cell.Clean)
+		if firstErr == nil {
+			if res.Violation != nil {
+				firstErr = fmt.Errorf("spec model %s/%s: %v", c.Family, c.Name, res.Violation)
+			} else if res.Deadlock != nil {
+				firstErr = fmt.Errorf("spec model %s/%s deadlocked after %d states", c.Family, c.Name, res.States)
+			}
+		}
+	}
+	for _, c := range spec.MutationCases() {
+		start := time.Now()
+		res := spec.Check(c.Model, c.Bound)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		caught := res.Violation != nil && len(res.Trace) > 0
+		cell := SpecCell{
+			Family: c.Family, Name: c.Name, Bug: c.Bug,
+			States: res.States, Transitions: res.Transitions,
+			TraceSteps: len(res.Trace), Millis: ms,
+		}
+		out = append(out, cell)
+		fmt.Fprintf(o.W, "fig-spec-mut family=%-7s model=%-18s bug=%-22s caught=%-5v trace-steps=%-3d states=%-8d time-ms=%.2f\n",
+			c.Family, c.Name, c.Bug, caught, len(res.Trace), res.States, ms)
+		if !caught && firstErr == nil {
+			firstErr = fmt.Errorf("seeded bug %s/%s/%s not caught (%d states explored)", c.Family, c.Name, c.Bug, res.States)
+		}
+	}
+	return out, firstErr
+}

@@ -70,6 +70,7 @@ func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, targe
 	if err != nil {
 		return 0, err
 	}
+	schedHit("reclaim:collected")
 	// Huge runs get the same second chance as small pages: a young span
 	// has its A bits cleared; a cold one is demoted — the translation
 	// split back into 512 4-KiB leaves and the block shattered into
@@ -161,6 +162,7 @@ func (a *AddrSpace) reclaimRangeNode(core int, va arch.Vaddr, size uint64, targe
 		}
 	}
 
+	schedHit("reclaim:submitted")
 	// One reap completes the whole batch; only pages whose write
 	// succeeded are unmapped and re-marked swapped. A failed completion
 	// frees its swap block and leaves its page resident — the frame is

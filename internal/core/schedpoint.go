@@ -1,0 +1,29 @@
+package core
+
+import "sync/atomic"
+
+// Schedule points: named positions inside multi-step protocols
+// (reclaim sweeps, migration transactions) where a test may park the
+// executing goroutine to force a specific interleaving. The spec
+// package's counterexample replay driver (spec.Gate) arms these points
+// to drive the real code through a model-checker trace. When no hook
+// is installed the cost is one atomic load per point.
+var schedPoint atomic.Pointer[func(string)]
+
+// SetSchedPoint installs fn as the process-wide schedule-point hook
+// (nil uninstalls). fn is called with the point name from inside the
+// instrumented path and may block; the caller must guarantee it
+// eventually returns.
+func SetSchedPoint(fn func(point string)) {
+	if fn == nil {
+		schedPoint.Store(nil)
+		return
+	}
+	schedPoint.Store(&fn)
+}
+
+func schedHit(point string) {
+	if fn := schedPoint.Load(); fn != nil {
+		(*fn)(point)
+	}
+}

@@ -9,6 +9,15 @@
 // (skipped read locks, missing stale check, missing RCU), it finds the
 // corresponding violation, demonstrating that the properties are not
 // vacuous.
+//
+// Beyond the locking protocols, the package re-verifies the envelope of
+// the subsystems grown since: the lock-free TLB's staleness contract
+// (tlbspec.go), reclaim/transaction interference in rely-guarantee style
+// (reclaimspec.go), and the break-before-make migration window
+// (migratespec.go). Each model carries seeded bugs the checker must
+// catch, and replay.go converts a counterexample trace into a
+// deterministic schedule against the real internal/tlb and internal/core
+// code.
 package spec
 
 import (
@@ -92,6 +101,7 @@ func Check(m Machine, maxStates int) Result {
 		steps := m.Next(cur.state)
 		if len(steps) == 0 && !m.Done(cur.state) {
 			res.Deadlock = append(trace(cur.key), "<stuck>")
+			res.States = len(seen)
 			return res
 		}
 		for _, st := range steps {

@@ -1,0 +1,53 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMutationMatrix is the non-vacuity gate CI runs: every model ×
+// every seeded bug must produce a violation with a reconstructed
+// counterexample trace. A bug the checker cannot catch means the
+// corresponding invariant is vacuous. Under -short the expensive
+// full-depth rows (the larger adv/reclaim/bbm state spaces) are
+// skipped so plain `go test ./...` stays fast.
+func TestMutationMatrix(t *testing.T) {
+	for _, c := range MutationCases() {
+		c := c
+		t.Run(c.Family+"/"+c.Name+"/"+c.Bug, func(t *testing.T) {
+			if testing.Short() && c.Bound > 2_000_000 {
+				t.Skip("full-depth mutation row skipped under -short")
+			}
+			res := Check(c.Model, c.Bound)
+			if res.Violation == nil {
+				t.Fatalf("seeded bug %q not caught (explored %d states)", c.Bug, res.States)
+			}
+			if len(res.Trace) == 0 {
+				t.Fatalf("seeded bug %q caught without a counterexample trace", c.Bug)
+			}
+			t.Logf("caught in %d states: %v\ntrace (%d steps): %s",
+				res.States, res.Violation, len(res.Trace), strings.Join(res.Trace, " "))
+		})
+	}
+}
+
+// The clean side of the same grid: every envelope case must pass at its
+// default bound. This is what `cortenbench -fig spec` prints as the
+// Table-4 analog.
+func TestEnvelopeClean(t *testing.T) {
+	for _, c := range EnvelopeCases() {
+		c := c
+		t.Run(c.Family+"/"+c.Name, func(t *testing.T) {
+			if testing.Short() && c.Bound > 2_000_000 {
+				t.Skip("full-depth envelope row skipped under -short")
+			}
+			res := Check(c.Model, c.Bound)
+			if res.Violation != nil {
+				t.Errorf("%v\ntrace: %s", res.Violation, strings.Join(res.Trace, " "))
+			}
+			if res.Deadlock != nil {
+				t.Errorf("deadlock: %s", strings.Join(res.Deadlock, " "))
+			}
+		})
+	}
+}

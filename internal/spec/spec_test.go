@@ -234,4 +234,10 @@ func TestCheckerReportsDeadlock(t *testing.T) {
 	if res.Deadlock == nil {
 		t.Fatal("deadlock not reported")
 	}
+	// The deadlock path must report the real explored-state count, not
+	// the initial placeholder of 1 (both states were visited before the
+	// stuck state was popped).
+	if res.States != 2 {
+		t.Errorf("deadlock States = %d, want 2", res.States)
+	}
 }
